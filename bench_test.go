@@ -1,0 +1,194 @@
+// Package cfaopc's root benchmarks regenerate every table and figure of
+// the paper's evaluation section, one testing.B target per exhibit. They
+// run a reduced configuration (fewer iterations, a case subset) so that
+// `go test -bench=.` completes in minutes; `cmd/paperbench` runs the full
+// recorded configuration.
+package cfaopc_test
+
+import (
+	"sync"
+	"testing"
+
+	"cfaopc/internal/bench"
+)
+
+// benchOptions is the reduced configuration shared by all exhibits.
+func benchOptions() bench.Options {
+	o := bench.DefaultOptions()
+	o.Cases = []int{1, 4, 10} // small / medium representative subset
+	o.BaselineIters = 20
+	o.CircleOptIters = 25
+	o.InitIters = 8
+	o.KOpt = 4
+	return o
+}
+
+var (
+	runnerOnce sync.Once
+	runner     *bench.Runner
+	runnerErr  error
+)
+
+// sharedRunner memoizes one Runner across benchmarks so pixel baselines
+// are optimized once and reused, exactly as the harness does.
+func sharedRunner(b *testing.B) *bench.Runner {
+	b.Helper()
+	runnerOnce.Do(func() {
+		runner, runnerErr = bench.NewRunner(benchOptions())
+	})
+	if runnerErr != nil {
+		b.Fatal(runnerErr)
+	}
+	return runner
+}
+
+// BenchmarkTable1 regenerates Table 1: each pixel baseline raw (VSB
+// rectangle fracturing) vs +CircleRule, averaged metrics.
+func BenchmarkTable1(b *testing.B) {
+	r := sharedRunner(b)
+	for i := 0; i < b.N; i++ {
+		t := r.Table1()
+		if len(t.Rows) != 6 {
+			b.Fatalf("Table1 rows = %d", len(t.Rows))
+		}
+		if i == 0 {
+			b.Log("\n" + t.Format())
+		}
+	}
+}
+
+// BenchmarkTable2 regenerates Table 2: per-case printability/complexity
+// for the three CircleRule pipelines and CircleOpt.
+func BenchmarkTable2(b *testing.B) {
+	r := sharedRunner(b)
+	for i := 0; i < b.N; i++ {
+		t := r.Table2()
+		if len(t.Rows) != len(r.Suite)+1 {
+			b.Fatalf("Table2 rows = %d", len(t.Rows))
+		}
+		if i == 0 {
+			b.Log("\n" + t.Format())
+		}
+	}
+}
+
+// BenchmarkTable3 regenerates Table 3: the sparsity-regularizer ablation.
+func BenchmarkTable3(b *testing.B) {
+	r := sharedRunner(b)
+	for i := 0; i < b.N; i++ {
+		t := r.Table3()
+		if len(t.Rows) != 2 {
+			b.Fatalf("Table3 rows = %d", len(t.Rows))
+		}
+		if i == 0 {
+			b.Log("\n" + t.Format())
+		}
+	}
+}
+
+// BenchmarkFigure1 regenerates Figure 1: rectangular vs circular
+// fracturing shot counts on curvilinear masks.
+func BenchmarkFigure1(b *testing.B) {
+	r := sharedRunner(b)
+	for i := 0; i < b.N; i++ {
+		t := r.Figure1()
+		if len(t.Rows) != 3 {
+			b.Fatalf("Figure1 rows = %d", len(t.Rows))
+		}
+		if i == 0 {
+			b.Log("\n" + t.Format())
+		}
+	}
+}
+
+// BenchmarkFigure6 regenerates Figure 6: the target/mask/printed triptych
+// renders for a CircleOpt case.
+func BenchmarkFigure6(b *testing.B) {
+	r := sharedRunner(b)
+	dir := b.TempDir()
+	for i := 0; i < b.N; i++ {
+		files, err := r.RenderCase(0, dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(files) != 3 {
+			b.Fatalf("rendered %d files", len(files))
+		}
+	}
+}
+
+// BenchmarkAblationSTE measures what the straight-through estimator buys
+// over continuous relaxation with final rounding (DESIGN.md design-choice
+// ablation).
+func BenchmarkAblationSTE(b *testing.B) {
+	r := sharedRunner(b)
+	for i := 0; i < b.N; i++ {
+		t := r.AblationSTE()
+		if len(t.Rows) != 2 {
+			b.Fatalf("rows = %d", len(t.Rows))
+		}
+		if i == 0 {
+			b.Log("\n" + t.Format())
+		}
+	}
+}
+
+// BenchmarkAblationCoverageRepair measures the coverage-repair extension
+// to Algorithm 1 on wide regions.
+func BenchmarkAblationCoverageRepair(b *testing.B) {
+	r := sharedRunner(b)
+	for i := 0; i < b.N; i++ {
+		t := r.AblationCoverageRepair()
+		if len(t.Rows) != 2 {
+			b.Fatalf("rows = %d", len(t.Rows))
+		}
+		if i == 0 {
+			b.Log("\n" + t.Format())
+		}
+	}
+}
+
+// BenchmarkExtensionDose compares the dose-modulated DoseOpt extension
+// against CircleOpt (the future-work experiment described in DESIGN.md).
+func BenchmarkExtensionDose(b *testing.B) {
+	r := sharedRunner(b)
+	for i := 0; i < b.N; i++ {
+		t := r.ExtensionDose()
+		if len(t.Rows) != 2 {
+			b.Fatalf("rows = %d", len(t.Rows))
+		}
+		if i == 0 {
+			b.Log("\n" + t.Format())
+		}
+	}
+}
+
+// BenchmarkExtensionCompaction measures union-preserving shot compaction
+// across every method's shot lists.
+func BenchmarkExtensionCompaction(b *testing.B) {
+	r := sharedRunner(b)
+	for i := 0; i < b.N; i++ {
+		t := r.ExtensionCompaction()
+		if len(t.Rows) != 4 {
+			b.Fatalf("rows = %d", len(t.Rows))
+		}
+		if i == 0 {
+			b.Log("\n" + t.Format())
+		}
+	}
+}
+
+// BenchmarkFigure7 regenerates Figure 7: the sample-distance ablation
+// series for shot count, L2+PVB and EPE.
+func BenchmarkFigure7(b *testing.B) {
+	r := sharedRunner(b)
+	for i := 0; i < b.N; i++ {
+		shot, quality, epe := r.Figure7()
+		if len(shot.Series) != 3 || len(quality.Series) != 2 || len(epe.Series) != 2 {
+			b.Fatal("figure series missing")
+		}
+		if i == 0 {
+			b.Log("\n" + shot.Format() + quality.Format() + epe.Format())
+		}
+	}
+}

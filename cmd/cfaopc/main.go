@@ -1,0 +1,180 @@
+// Command cfaopc optimizes a single target layout end to end and emits the
+// circular shot list, mask renders, and the metric report.
+//
+// Usage:
+//
+//	cfaopc -case 1 [flags]            # a synthetic benchmark case
+//	cfaopc -layout path.glp [flags]   # a layout file
+//
+// Methods: circleopt (default), or a pixel baseline plus CircleRule
+// fracturing via -method develset|neuralilt|multiilt.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"cfaopc/internal/bench"
+	"cfaopc/internal/core"
+	"cfaopc/internal/fracture"
+	"cfaopc/internal/gds"
+	"cfaopc/internal/geom"
+	"cfaopc/internal/grid"
+	"cfaopc/internal/ilt"
+	"cfaopc/internal/layout"
+	"cfaopc/internal/litho"
+	"cfaopc/internal/metrics"
+	"cfaopc/internal/optics"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cfaopc: ")
+
+	var (
+		caseID     = flag.Int("case", 0, "synthetic benchmark case (1-10)")
+		layoutPath = flag.String("layout", "", "layout file (.glp) to optimize instead of a benchmark case")
+		method     = flag.String("method", "circleopt", "circleopt | doseopt | develset | neuralilt | multiilt | greedy")
+		gridN      = flag.Int("grid", 256, "simulation grid (pixels per tile side)")
+		iters      = flag.Int("iters", 60, "optimization iterations")
+		sampleNM   = flag.Float64("sample-dist", 32, "circle sample distance m in nm")
+		gamma      = flag.Float64("gamma", 3, "CircleOpt sparsity weight")
+		kOpt       = flag.Int("kopt", 5, "kernels used during optimization")
+		compact    = flag.Bool("compact", false, "remove shots that are redundant for the final union (print-identical)")
+		outDir     = flag.String("out", "out", "output directory")
+	)
+	flag.Parse()
+
+	var l *layout.Layout
+	switch {
+	case *layoutPath != "":
+		f, err := os.Open(*layoutPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if strings.HasSuffix(strings.ToLower(*layoutPath), ".gds") {
+			l, err = gds.Read(f, -1)
+		} else {
+			l, err = layout.Parse(f)
+		}
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+	case *caseID >= 1 && *caseID <= 10:
+		l = layout.GenerateSuite()[*caseID-1]
+	default:
+		log.Fatal("need -case 1..10 or -layout file.glp")
+	}
+
+	cfg := optics.Default()
+	cfg.TileNM = float64(l.TileNM)
+	sim, err := litho.New(cfg, *gridN)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sim.KOpt = *kOpt
+	target := l.Rasterize(*gridN)
+
+	ruleCfg := fracture.DefaultCircleRuleConfig(sim.DX)
+	ruleCfg.SampleDist = max(1, int(*sampleNM/sim.DX))
+
+	var mask *grid.Real
+	var shots []geom.Circle
+	switch strings.ToLower(*method) {
+	case "circleopt":
+		coCfg := core.DefaultConfig(sim.DX)
+		coCfg.Iterations = *iters
+		coCfg.Gamma = *gamma / sim.DX // flag is in the paper's 1 nm/px scale
+		res := (&core.CircleOpt{Cfg: coCfg, RuleCfg: ruleCfg}).Optimize(sim, target)
+		mask, shots = res.Mask, res.Shots
+	case "doseopt":
+		coCfg := core.DefaultConfig(sim.DX)
+		coCfg.Iterations = *iters
+		coCfg.Gamma = *gamma / sim.DX
+		res := (&core.DoseOpt{Cfg: coCfg, RuleCfg: ruleCfg}).Optimize(sim, target)
+		mask = res.Mask
+		for _, ds := range res.Shots {
+			shots = append(shots, ds.Circle)
+		}
+		fmt.Printf("dose-modulated shots (dose range in list):\n")
+	case "greedy":
+		iltCfg := ilt.DefaultConfig()
+		iltCfg.Iterations = *iters
+		pixel := (&ilt.MultiLevel{Cfg: iltCfg}).Optimize(sim, target)
+		shots = fracture.GreedyCircles(pixel, fracture.GreedyCircleConfig{
+			RMin: ruleCfg.RMin, RMax: ruleCfg.RMax, CoverThreshold: ruleCfg.CoverThreshold,
+		})
+		mask = geom.RasterizeCircles(sim.N, sim.N, shots)
+	case "develset", "neuralilt", "multiilt":
+		iltCfg := ilt.DefaultConfig()
+		iltCfg.Iterations = *iters
+		var e ilt.Engine
+		switch strings.ToLower(*method) {
+		case "develset":
+			e = &ilt.LevelSet{Cfg: iltCfg}
+		case "neuralilt":
+			e = &ilt.CycleILT{Cfg: iltCfg}
+		default:
+			e = &ilt.MultiLevel{Cfg: iltCfg}
+		}
+		pixel := e.Optimize(sim, target)
+		shots = fracture.CircleRule(pixel, ruleCfg)
+		mask = geom.RasterizeCircles(sim.N, sim.N, shots)
+	default:
+		log.Fatalf("unknown method %q", *method)
+	}
+
+	if *compact {
+		before := len(shots)
+		shots = fracture.CompactShots(sim.N, sim.N, shots)
+		mask = geom.RasterizeCircles(sim.N, sim.N, shots)
+		fmt.Printf("compaction: %d -> %d shots\n", before, len(shots))
+	}
+
+	res := sim.Simulate(mask)
+	rep := metrics.Evaluate(l, res.ZNom, res.ZMax, res.ZMin, len(shots))
+	fmt.Printf("%s / %s: L2 %.1f nm2, PVB %.1f nm2, EPE %d, shots %d\n",
+		l.Name, *method, rep.L2, rep.PVB, rep.EPE, rep.Shots)
+	if v := metrics.CheckCircleMRC(shots, sim.DX, 12, 76); len(v) > 0 {
+		fmt.Printf("MRC: %d violations (first: shot %d, %s)\n", len(v), v[0].Shot, v[0].Reason)
+	} else {
+		fmt.Println("MRC: clean")
+	}
+
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	// Order shots to minimize beam travel before hand-off.
+	shots = fracture.OrderShots(shots)
+	shotPath := filepath.Join(*outDir, l.Name+"_shots.csv")
+	sf, err := os.Create(shotPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := fracture.WriteShotsCSV(sf, shots, sim.DX); err != nil {
+		log.Fatal(err)
+	}
+	sf.Close()
+
+	for name, g := range map[string]*grid.Real{
+		"target": target, "mask": mask, "printed": res.ZNom,
+	} {
+		p := filepath.Join(*outDir, fmt.Sprintf("%s_%s.png", l.Name, name))
+		if err := bench.GridPNG(g, p); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("wrote %s and renders under %s/\n", shotPath, *outDir)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,85 @@
+// Command evalmask scores an existing circular shot list against a target
+// layout: it reconstructs the mask from the shots, simulates the three
+// process corners, and reports L2 / PVB / EPE / #Shot plus MRC status.
+//
+// Usage:
+//
+//	evalmask -layout case1.glp -shots case1_shots.csv [-grid 256]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"cfaopc/internal/fracture"
+	"cfaopc/internal/geom"
+	"cfaopc/internal/layout"
+	"cfaopc/internal/litho"
+	"cfaopc/internal/metrics"
+	"cfaopc/internal/optics"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("evalmask: ")
+	var (
+		layoutPath = flag.String("layout", "", "target layout (.glp)")
+		shotsPath  = flag.String("shots", "", "circular shot list (.csv)")
+		gridN      = flag.Int("grid", 256, "simulation grid")
+		rMin       = flag.Float64("rmin", 12, "MRC minimum radius (nm)")
+		rMax       = flag.Float64("rmax", 76, "MRC maximum radius (nm)")
+	)
+	flag.Parse()
+	if *layoutPath == "" || *shotsPath == "" {
+		log.Fatal("need -layout and -shots")
+	}
+
+	lf, err := os.Open(*layoutPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	l, err := layout.Parse(lf)
+	lf.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := optics.Default()
+	cfg.TileNM = float64(l.TileNM)
+	sim, err := litho.New(cfg, *gridN)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sf, err := os.Open(*shotsPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	shots, err := fracture.ReadShotsCSV(sf, sim.DX)
+	sf.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	mask := geom.RasterizeCircles(sim.N, sim.N, shots)
+	res := sim.Simulate(mask)
+	rep := metrics.Evaluate(l, res.ZNom, res.ZMax, res.ZMin, len(shots))
+	fmt.Printf("%s: L2 %.1f nm2, PVB %.1f nm2, EPE %d, shots %d\n",
+		l.Name, rep.L2, rep.PVB, rep.EPE, rep.Shots)
+	viol := metrics.CheckCircleMRC(shots, sim.DX, *rMin, *rMax)
+	if len(viol) == 0 {
+		fmt.Println("MRC: clean")
+		return
+	}
+	fmt.Printf("MRC: %d violations\n", len(viol))
+	for i, v := range viol {
+		if i >= 10 {
+			fmt.Printf("  … %d more\n", len(viol)-10)
+			break
+		}
+		fmt.Printf("  shot %d: %s\n", v.Shot, v.Reason)
+	}
+	os.Exit(1)
+}

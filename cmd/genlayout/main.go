@@ -1,0 +1,51 @@
+// Command genlayout writes the ten synthetic benchmark layouts as .glp
+// text files, so they can be inspected, edited, and fed back through
+// cfaopc -layout or evalmask.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"cfaopc/internal/gds"
+	"cfaopc/internal/layout"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("genlayout: ")
+	outDir := flag.String("out", "layouts", "output directory")
+	asGDS := flag.Bool("gds", false, "also write each case as a GDSII stream on layer 1")
+	flag.Parse()
+
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	for _, l := range layout.GenerateSuite() {
+		path := filepath.Join(*outDir, l.Name+".glp")
+		f, err := os.Create(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := l.Write(f); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+		fmt.Printf("%s: %d rects, %d nm2\n", path, len(l.Rects), l.Area())
+		if *asGDS {
+			gp := filepath.Join(*outDir, l.Name+".gds")
+			gf, err := os.Create(gp)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := gds.Write(gf, l, 1); err != nil {
+				log.Fatal(err)
+			}
+			gf.Close()
+			fmt.Printf("%s: GDSII stream\n", gp)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+// Command pwplot sweeps a dose–defocus process-window matrix for one
+// benchmark case's optimized mask and prints the CD matrix plus the depth
+// of focus — the analysis behind the circular-writer paper's "best depth
+// of focus with less shot count" claim.
+//
+// Usage:
+//
+//	pwplot -case 1 [-method circleopt|target] [-grid 256]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"cfaopc/internal/core"
+	"cfaopc/internal/grid"
+	"cfaopc/internal/layout"
+	"cfaopc/internal/litho"
+	"cfaopc/internal/metrics"
+	"cfaopc/internal/optics"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pwplot: ")
+	var (
+		caseID = flag.Int("case", 1, "benchmark case (1-10)")
+		gridN  = flag.Int("grid", 256, "simulation grid")
+		method = flag.String("method", "circleopt", "mask source: circleopt | target (no OPC)")
+		iters  = flag.Int("iters", 40, "CircleOpt iterations")
+	)
+	flag.Parse()
+	if *caseID < 1 || *caseID > 10 {
+		log.Fatal("case must be 1..10")
+	}
+	l := layout.GenerateSuite()[*caseID-1]
+
+	cfg := optics.Default()
+	cfg.TileNM = float64(l.TileNM)
+	sim, err := litho.New(cfg, *gridN)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sim.KOpt = 5
+	target := l.Rasterize(*gridN)
+
+	var mask *grid.Real
+	switch *method {
+	case "target":
+		mask = target
+	case "circleopt":
+		coCfg := core.DefaultConfig(sim.DX)
+		coCfg.Iterations = *iters
+		res := (&core.CircleOpt{Cfg: coCfg, InitIterations: 16}).Optimize(sim, target)
+		mask = res.Mask
+		fmt.Printf("CircleOpt mask: %d shots\n", len(res.Shots))
+	default:
+		log.Fatalf("unknown method %q", *method)
+	}
+
+	gauges := metrics.AutoGauges(l, *gridN, 100)
+	if len(gauges) == 0 {
+		log.Fatal("layout has no gaugeable feature")
+	}
+	pw := litho.PWConfig{
+		DefocusNM: []float64{0, 10, 20, 30, 40, 50, 60, 80},
+		Doses:     []float64{0.92, 0.96, 1.0, 1.04, 1.08},
+		Gauge:     gauges[0],
+		Tolerance: 0.10,
+	}
+	points, err := litho.ProcessWindow(cfg, *gridN, mask, pw)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nCD (nm) at gauge row %d; * = within ±10%% of nominal\n", pw.Gauge.Y)
+	fmt.Printf("%10s", "defocus\\dose")
+	for _, d := range pw.Doses {
+		fmt.Printf("%9.2f", d)
+	}
+	fmt.Println()
+	for _, z := range pw.DefocusNM {
+		fmt.Printf("%10.0f", z)
+		for _, d := range pw.Doses {
+			for _, p := range points {
+				if p.DefocusNM == z && p.Dose == d {
+					mark := " "
+					if p.InSpec {
+						mark = "*"
+					}
+					fmt.Printf("%8.0f%s", p.CDnm, mark)
+				}
+			}
+		}
+		fmt.Println()
+	}
+	fmt.Printf("\ndepth of focus (all doses in spec):  %.0f nm\n", litho.DepthOfFocus(points, 1.0))
+	fmt.Printf("depth of focus (60%% dose latitude): %.0f nm\n", litho.DepthOfFocus(points, 0.6))
+}

@@ -1,0 +1,135 @@
+// Custom lithography models: build SOCS kernel sets for different
+// illumination settings from first principles and study how the process
+// window of one mask changes — the substrate the paper takes from the
+// ICCAD-2013 contest kit, exercised directly.
+//
+//	go run ./examples/customlitho
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cfaopc/internal/grid"
+	"cfaopc/internal/layout"
+	"cfaopc/internal/litho"
+	"cfaopc/internal/optics"
+	"cfaopc/internal/sraf"
+)
+
+func main() {
+	const n = 128
+	target := grid.NewReal(n, n)
+	for y := 34; y < 94; y++ {
+		for x := 54; x < 74; x++ { // 80 nm bar on a 512 nm tile
+			target.Set(x, y, 1)
+		}
+	}
+
+	conditions := []struct {
+		name string
+		mod  func(*optics.Config)
+	}{
+		{"annular 0.5-0.8 (default)", func(c *optics.Config) {}},
+		{"annular 0.7-0.9 (high sigma)", func(c *optics.Config) { c.SigmaIn, c.SigmaOut = 0.7, 0.9 }},
+		{"conventional 0-0.6", func(c *optics.Config) { c.SigmaIn, c.SigmaOut = 0, 0.6 }},
+		{"NA 1.20 (lower resolution)", func(c *optics.Config) { c.NA = 1.20 }},
+		{"50 nm defocus corner", func(c *optics.Config) { c.DefocusNM = 50 }},
+	}
+
+	fmt.Println("process-window analysis of the same 80 nm bar mask:")
+	fmt.Printf("%-30s %10s %10s %10s\n", "condition", "L2(nm²)", "PVB(nm²)", "kernels")
+	for _, cond := range conditions {
+		cfg := optics.Default()
+		cfg.TileNM = 512
+		cond.mod(&cfg)
+		sim, err := litho.New(cfg, n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res := sim.Simulate(target) // print the target as its own mask
+		l2, pvb := 0, 0
+		for i := range target.Data {
+			if (res.ZNom.Data[i] > 0.5) != (target.Data[i] > 0.5) {
+				l2++
+			}
+			if (res.ZMax.Data[i] > 0.5) != (res.ZMin.Data[i] > 0.5) {
+				pvb++
+			}
+		}
+		dx2 := sim.DX * sim.DX
+		fmt.Printf("%-30s %10.0f %10.0f %10d\n",
+			cond.name, float64(l2)*dx2, float64(pvb)*dx2, len(sim.Focus.Kernels))
+	}
+
+	// Rule-based scattering bars: the classic OPC assist for isolated
+	// features. Compare the isolated bar's process-variation band with and
+	// without SRAFs (the bars are sub-resolution: they must not print).
+	iso := &layout.Layout{
+		Name:   "iso",
+		TileNM: 2048,
+		Rects:  []layout.Rect{{X: 960, Y: 700, W: 90, H: 640}},
+	}
+	withBars := sraf.WithSRAFs(iso, sraf.DefaultRules())
+	fmt.Printf("\nrule-based SRAFs on an isolated 90 nm bar (%d bars inserted):\n",
+		len(withBars.Rects)-len(iso.Rects))
+	simCfg := optics.Default()
+	isoSim, err := litho.New(simCfg, 256)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, variant := range []struct {
+		name string
+		l    *layout.Layout
+	}{{"bare mask", iso}, {"with SRAFs", withBars}} {
+		mask := variant.l.Rasterize(256)
+		res := isoSim.Simulate(mask)
+		pvb := 0
+		for i := range res.ZMax.Data {
+			if (res.ZMax.Data[i] > 0.5) != (res.ZMin.Data[i] > 0.5) {
+				pvb++
+			}
+		}
+		// Count printed pixels more than ~40 nm away from the drawn bar:
+		// SRAFs are sub-resolution and must not print.
+		stray := 0
+		for y := 0; y < 256; y++ {
+			for x := 0; x < 256; x++ {
+				if res.ZNom.At(x, y) <= 0.5 {
+					continue
+				}
+				xNM := (float64(x) + 0.5) * isoSim.DX
+				yNM := (float64(y) + 0.5) * isoSim.DX
+				t := iso.Rects[0]
+				if xNM < float64(t.X)-40 || xNM > float64(t.X+t.W)+40 ||
+					yNM < float64(t.Y)-40 || yNM > float64(t.Y+t.H)+40 {
+					stray++
+				}
+			}
+		}
+		dx2 := isoSim.DX * isoSim.DX
+		fmt.Printf("  %-12s PVB %6.0f nm², stray printed px: %d\n",
+			variant.name, float64(pvb)*dx2, stray)
+	}
+
+	// The kernel spectra themselves are inspectable: show the energy
+	// distribution of the default condition's top kernels.
+	cfg := optics.Default()
+	cfg.TileNM = 512
+	set, err := optics.CachedKernels(cfg, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nSOCS eigenvalue spectrum (relative):")
+	for i, k := range set.Kernels {
+		if i >= 8 {
+			fmt.Printf("  … %d more kernels\n", len(set.Kernels)-8)
+			break
+		}
+		bar := ""
+		for j := 0; j < int(40*k.Weight/set.Kernels[0].Weight); j++ {
+			bar += "#"
+		}
+		fmt.Printf("  λ%-2d %-40s %.4f\n", i, bar, k.Weight/set.Kernels[0].Weight)
+	}
+}

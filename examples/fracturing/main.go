@@ -1,0 +1,94 @@
+// Fracturing comparison: optimize a curvilinear mask with a pixel-level
+// ILT engine, then fracture it both ways — VSB rectangles (Manhattanize +
+// minimum rectangle partition) and CircleRule circles — and compare shot
+// counts and reconstruction fidelity. This is Figure 1 of the paper as a
+// runnable program.
+//
+//	go run ./examples/fracturing
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cfaopc/internal/fracture"
+	"cfaopc/internal/geom"
+	"cfaopc/internal/grid"
+	"cfaopc/internal/ilt"
+	"cfaopc/internal/litho"
+	"cfaopc/internal/optics"
+)
+
+func main() {
+	cfg := optics.Default()
+	cfg.TileNM = 512
+	const n = 128
+	sim, err := litho.New(cfg, n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sim.KOpt = 5
+
+	// An L-shaped target produces a properly curvilinear ILT mask.
+	target := grid.NewReal(n, n)
+	for y := 30; y < 95; y++ {
+		for x := 40; x < 58; x++ {
+			target.Set(x, y, 1)
+		}
+	}
+	for y := 77; y < 95; y++ {
+		for x := 58; x < 95; x++ {
+			target.Set(x, y, 1)
+		}
+	}
+
+	iltCfg := ilt.DefaultConfig()
+	iltCfg.Iterations = 30
+	mask := (&ilt.MultiLevel{Cfg: iltCfg}).Optimize(sim, target)
+	fmt.Printf("curvilinear mask: %.0f px of %d²\n", mask.Sum(), n)
+
+	// Traditional path: Manhattanize on an 8 nm grid, then fracture into
+	// the *minimum* number of rectangles (concave-chord matching).
+	block := int(8/sim.DX + 0.5)
+	if block < 1 {
+		block = 1
+	}
+	rects := fracture.RectShots(mask, block)
+	fmt.Printf("VSB fracturing:     %4d rectangle shots\n", len(rects))
+
+	// Circular writer path: Algorithm 1 with the paper's parameters.
+	ruleCfg := fracture.DefaultCircleRuleConfig(sim.DX)
+	circles := fracture.CircleRule(mask, ruleCfg)
+	fmt.Printf("Circular fracturing: %4d circle shots (%.1fx fewer)\n",
+		len(circles), float64(len(rects))/float64(len(circles)))
+
+	// Reconstruction fidelity of the circular mask vs the original.
+	rec := geom.RasterizeCircles(n, n, circles)
+	inter, union := 0, 0
+	for i := range mask.Data {
+		a := mask.Data[i] > 0.5
+		b := rec.Data[i] > 0.5
+		if a && b {
+			inter++
+		}
+		if a || b {
+			union++
+		}
+	}
+	fmt.Printf("circle-mask IoU vs original: %.2f\n", float64(inter)/float64(union))
+
+	// And the print quality of both masks.
+	for _, m := range []struct {
+		name string
+		g    *grid.Real
+	}{{"original", mask}, {"circled ", rec}} {
+		r := sim.Simulate(m.g)
+		diff := 0
+		for i := range target.Data {
+			if (r.ZNom.Data[i] > 0.5) != (target.Data[i] > 0.5) {
+				diff++
+			}
+		}
+		fmt.Printf("print L2 with %s mask: %.0f nm²\n", m.name, float64(diff)*sim.DX*sim.DX)
+	}
+}

@@ -1,0 +1,3 @@
+module cfaopc
+
+go 1.22

@@ -1,0 +1,44 @@
+package bench
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestAblationTables(t *testing.T) {
+	r := lightRunner(t)
+
+	ste := r.AblationSTE()
+	if len(ste.Rows) != 2 {
+		t.Fatalf("STE ablation rows = %d", len(ste.Rows))
+	}
+	if !strings.Contains(ste.Format(), "continuous") {
+		t.Error("STE ablation missing variant label")
+	}
+
+	repair := r.AblationCoverageRepair()
+	if len(repair.Rows) != 2 {
+		t.Fatalf("repair ablation rows = %d", len(repair.Rows))
+	}
+	// Skeleton-only shot count must not exceed with-repair.
+	withShots, _ := strconv.Atoi(repair.Rows[0][4])
+	skelShots, _ := strconv.Atoi(repair.Rows[1][4])
+	if skelShots > withShots {
+		t.Fatalf("skeleton-only produced more shots (%d) than with repair (%d)", skelShots, withShots)
+	}
+
+	alpha := r.AblationAlpha([]float64{4, 8})
+	if len(alpha.Rows) != 2 {
+		t.Fatalf("alpha ablation rows = %d", len(alpha.Rows))
+	}
+
+	kern := r.AblationKernels([]int{2, 4})
+	if len(kern.Rows) != 2 {
+		t.Fatalf("kernel ablation rows = %d", len(kern.Rows))
+	}
+	// KOpt must be restored after the sweep.
+	if r.Sim.KOpt != r.Opt.KOpt {
+		t.Fatalf("KOpt not restored: %d", r.Sim.KOpt)
+	}
+}

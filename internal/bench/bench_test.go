@@ -1,0 +1,151 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// lightRunner runs one small case with few iterations; the point of these
+// tests is harness correctness, not mask quality.
+func lightRunner(t testing.TB) *Runner {
+	t.Helper()
+	o := DefaultOptions()
+	o.Cases = []int{4} // smallest-area case
+	o.BaselineIters = 5
+	o.CircleOptIters = 6
+	o.InitIters = 3
+	o.KOpt = 3
+	r, err := NewRunner(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestNewRunnerValidation(t *testing.T) {
+	o := DefaultOptions()
+	o.GridN = 0
+	if _, err := NewRunner(o); err == nil {
+		t.Error("expected error for zero grid")
+	}
+	o = DefaultOptions()
+	o.Cases = []int{99}
+	if _, err := NewRunner(o); err == nil {
+		t.Error("expected error for out-of-range case")
+	}
+}
+
+func TestRunnerPipelines(t *testing.T) {
+	r := lightRunner(t)
+
+	rect := r.RunRect("MultiILT", 0)
+	if rect.Shots <= 0 {
+		t.Fatal("rect fracturing produced no shots")
+	}
+	rule, shots := r.RunCircleRule("MultiILT", 0, 32)
+	if rule.Shots != len(shots) || rule.Shots == 0 {
+		t.Fatalf("CircleRule shots inconsistent: %d vs %d", rule.Shots, len(shots))
+	}
+	if rule.Shots >= rect.Shots {
+		t.Fatalf("circular fracturing (%d) not cheaper than rect (%d)", rule.Shots, rect.Shots)
+	}
+	opt, res := r.RunCircleOpt(0, 32, 3)
+	if opt.Shots != len(res.Shots) {
+		t.Fatal("CircleOpt shot count inconsistent")
+	}
+	// Memoization: a second call must not re-run (same pointer result).
+	_, res2 := r.RunCircleOpt(0, 32, 3)
+	if res != res2 {
+		t.Fatal("CircleOpt result not memoized")
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	r := lightRunner(t)
+	t1 := r.Table1()
+	if len(t1.Rows) != 6 { // 3 baselines × (raw + CircleRule)
+		t.Fatalf("Table1 has %d rows", len(t1.Rows))
+	}
+	text := t1.Format()
+	for _, want := range []string{"DevelSet", "MultiILT+CircleRule", "#Shot"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Table1 text missing %q:\n%s", want, text)
+		}
+	}
+
+	t2 := r.Table2()
+	if len(t2.Rows) != 2 { // 1 case + average
+		t.Fatalf("Table2 has %d rows", len(t2.Rows))
+	}
+	if t2.Rows[0][0] != "case4" || t2.Rows[1][0] != "Average" {
+		t.Fatalf("Table2 row labels: %v, %v", t2.Rows[0][0], t2.Rows[1][0])
+	}
+
+	t3 := r.Table3()
+	if len(t3.Rows) != 2 {
+		t.Fatalf("Table3 has %d rows", len(t3.Rows))
+	}
+	if !strings.Contains(t3.Format(), "w/o Sparsity") {
+		t.Error("Table3 missing ablation row")
+	}
+}
+
+func TestFigure7Shapes(t *testing.T) {
+	r := lightRunner(t)
+	shot, quality, epe := r.Figure7()
+	if len(shot.Series) != 3 || len(quality.Series) != 2 || len(epe.Series) != 2 {
+		t.Fatalf("series counts: %d/%d/%d", len(shot.Series), len(quality.Series), len(epe.Series))
+	}
+	for _, s := range shot.Series {
+		if len(s.X) != len(Figure7SampleDistances) {
+			t.Fatalf("series %s has %d points", s.Label, len(s.X))
+		}
+	}
+	// Shot count must not increase with sample distance for CircleRule.
+	rule := shot.Series[0]
+	for i := 1; i < len(rule.Y); i++ {
+		if rule.Y[i] > rule.Y[i-1]+1e-9 {
+			t.Errorf("CircleRule shots increased with m: %v", rule.Y)
+		}
+	}
+	if !strings.Contains(shot.Format(), "CircleOpt") {
+		t.Error("figure text missing series label")
+	}
+}
+
+func TestFigure1Table(t *testing.T) {
+	r := lightRunner(t)
+	f1 := r.Figure1()
+	if len(f1.Rows) != 3 {
+		t.Fatalf("Figure1 has %d rows", len(f1.Rows))
+	}
+	if !strings.Contains(f1.Format(), "Reduction") {
+		t.Error("Figure1 missing header")
+	}
+}
+
+func TestRenderCaseWritesPNGs(t *testing.T) {
+	r := lightRunner(t)
+	dir := t.TempDir()
+	files, err := r.RenderCase(0, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 3 {
+		t.Fatalf("rendered %d files", len(files))
+	}
+	for _, f := range files {
+		st, err := os.Stat(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("%s is empty", f)
+		}
+		if filepath.Ext(f) != ".png" {
+			t.Fatalf("unexpected extension %s", f)
+		}
+	}
+}

@@ -1,0 +1,38 @@
+package bench
+
+import (
+	"strconv"
+	"testing"
+)
+
+func TestExtensionTables(t *testing.T) {
+	r := lightRunner(t)
+
+	dose := r.ExtensionDose()
+	if len(dose.Rows) != 2 {
+		t.Fatalf("dose rows = %d", len(dose.Rows))
+	}
+	if dose.Rows[0][0] != "CircleOpt" || dose.Rows[1][0] != "DoseOpt" {
+		t.Fatalf("dose labels: %v / %v", dose.Rows[0][0], dose.Rows[1][0])
+	}
+
+	greedy := r.ExtensionGreedy()
+	if len(greedy.Rows) != 2 {
+		t.Fatalf("greedy rows = %d", len(greedy.Rows))
+	}
+
+	comp := r.ExtensionCompaction()
+	if len(comp.Rows) != 4 { // 3 baselines + CircleOpt
+		t.Fatalf("compaction rows = %d", len(comp.Rows))
+	}
+	for _, row := range comp.Rows {
+		before, err1 := strconv.ParseFloat(row[1], 64)
+		after, err2 := strconv.ParseFloat(row[2], 64)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("bad compaction row %v", row)
+		}
+		if after > before {
+			t.Fatalf("compaction grew shots: %v", row)
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Series is one line of a figure: label plus (x, y) points.
+type Series struct {
+	Label string
+	X     []float64
+	Y     []float64
+}
+
+// Figure is a plotted experiment rendered as text series.
+type Figure struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// Format renders the figure's series as aligned columns.
+func (f *Figure) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s  (x: %s, y: %s)\n", f.Title, f.XLabel, f.YLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, "  %-24s", s.Label)
+		for i := range s.X {
+			fmt.Fprintf(&b, "  (%g, %.1f)", s.X[i], s.Y[i])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Figure7SampleDistances are the paper's swept m values (nm).
+var Figure7SampleDistances = []float64{28, 32, 36}
+
+// Figure7 reproduces the sample-distance ablation: average #Shot (a),
+// L2+PVB (b) and EPE (c) for CircleRule (on MultiILT masks, the strongest
+// pixel baseline, as in the paper) and CircleOpt, plus the constant
+// MultiILT VSB shot-count line of panel (a).
+func (r *Runner) Figure7() (shotFig, qualityFig, epeFig *Figure) {
+	shotFig = &Figure{Title: "Figure 7a: shot count vs sample distance", XLabel: "m (nm)", YLabel: "#Shot"}
+	qualityFig = &Figure{Title: "Figure 7b: L2+PVB vs sample distance", XLabel: "m (nm)", YLabel: "L2+PVB (nm2)"}
+	epeFig = &Figure{Title: "Figure 7c: EPE vs sample distance", XLabel: "m (nm)", YLabel: "EPE"}
+
+	ruleShots := Series{Label: "CircleRule"}
+	optShots := Series{Label: "CircleOpt"}
+	multiShots := Series{Label: "MultiILT (rect)"}
+	ruleQ := Series{Label: "CircleRule"}
+	optQ := Series{Label: "CircleOpt"}
+	ruleE := Series{Label: "CircleRule"}
+	optE := Series{Label: "CircleOpt"}
+
+	// MultiILT's rectangle shot count is independent of m.
+	multiAvg := 0.0
+	for ci := range r.Suite {
+		multiAvg += float64(r.RunRect("MultiILT", ci).Shots)
+	}
+	multiAvg /= float64(len(r.Suite))
+
+	for _, m := range Figure7SampleDistances {
+		rule, opt := &avg{}, &avg{}
+		for ci := range r.Suite {
+			rep, _ := r.RunCircleRule("MultiILT", ci, m)
+			rule.add(rep)
+			repO, _ := r.RunCircleOpt(ci, m, r.Opt.Gamma)
+			opt.add(repO)
+		}
+		n := float64(rule.n)
+		ruleShots.X = append(ruleShots.X, m)
+		ruleShots.Y = append(ruleShots.Y, rule.shots/n)
+		optShots.X = append(optShots.X, m)
+		optShots.Y = append(optShots.Y, opt.shots/n)
+		multiShots.X = append(multiShots.X, m)
+		multiShots.Y = append(multiShots.Y, multiAvg)
+		ruleQ.X = append(ruleQ.X, m)
+		ruleQ.Y = append(ruleQ.Y, (rule.l2+rule.pvb)/n)
+		optQ.X = append(optQ.X, m)
+		optQ.Y = append(optQ.Y, (opt.l2+opt.pvb)/n)
+		ruleE.X = append(ruleE.X, m)
+		ruleE.Y = append(ruleE.Y, rule.epe/n)
+		optE.X = append(optE.X, m)
+		optE.Y = append(optE.Y, opt.epe/n)
+	}
+	shotFig.Series = []Series{ruleShots, optShots, multiShots}
+	qualityFig.Series = []Series{ruleQ, optQ}
+	epeFig.Series = []Series{ruleE, optE}
+	return shotFig, qualityFig, epeFig
+}
+
+// Figure1 reproduces the fracturing comparison of Figure 1: rectangle vs
+// circular shot counts for each baseline's curvilinear mask, averaged over
+// the selected cases.
+func (r *Runner) Figure1() *Table {
+	t := &Table{
+		Title:  "Figure 1: rectangular vs circular fracturing (average shots)",
+		Header: []string{"Mask source", "Rect shots", "Circle shots", "Reduction"},
+	}
+	for _, name := range Baselines {
+		rectN, circN := 0.0, 0.0
+		for ci := range r.Suite {
+			rectN += float64(r.RunRect(name, ci).Shots)
+			rep, _ := r.RunCircleRule(name, ci, r.Opt.SampleDistNM)
+			circN += float64(rep.Shots)
+		}
+		n := float64(len(r.Suite))
+		red := "n/a"
+		if circN > 0 {
+			red = fmt.Sprintf("%.1fx", rectN/circN)
+		}
+		t.Rows = append(t.Rows, []string{name, f1(rectN / n), f1(circN / n), red})
+	}
+	return t
+}

@@ -1,0 +1,291 @@
+package core
+
+import (
+	"math"
+
+	"cfaopc/internal/fracture"
+	"cfaopc/internal/geom"
+	"cfaopc/internal/grid"
+	"cfaopc/internal/ilt"
+	"cfaopc/internal/litho"
+	"cfaopc/internal/opt"
+)
+
+// DoseOpt is an extension of CircleOpt for dose-modulated circular
+// writing: the e-beam writer of [7] can vary the dose per flash, so each
+// shot carries a learnable dose d_i instead of a binary activation. The
+// accumulated exposure is physically additive,
+//
+//	E(x,y) = Σ_i d_i · σ(α(r'_i − ‖(x,y)−(x'_i,y'_i)‖)),
+//
+// and the written mask is the mask-resist response M̄ = σ(β(E − E_th)).
+// Because exposure sums instead of max-composing, gradients flow to every
+// overlapping shot simultaneously (no argmax routing), and overlapping
+// low-dose shots can jointly form mask regions that single full-dose
+// circles cannot — a strictly larger design space than CircleOpt's.
+type DoseOpt struct {
+	Cfg Config
+	// DoseMin/DoseMax bound each shot's dose (defaults 0.3 / 1.5); a shot
+	// whose dose falls below DoseKeep (default 0.25) is dropped from the
+	// final list.
+	DoseMin, DoseMax, DoseKeep float64
+	// Beta is the mask-resist response steepness (default 6).
+	Beta float64
+	// InitIterations runs the stage-1 MOSAIC warm-up (default 12).
+	InitIterations int
+	RuleCfg        fracture.CircleRuleConfig
+}
+
+// DoseShot is one dose-modulated flash.
+type DoseShot struct {
+	geom.Circle
+	Dose float64
+}
+
+// DoseResult summarizes a DoseOpt run.
+type DoseResult struct {
+	Mask        *grid.Real
+	Shots       []DoseShot
+	LossHistory []float64
+}
+
+const doseExposureThreshold = 0.5 // mask resist threshold on accumulated dose
+
+func (e *DoseOpt) defaults() (dMin, dMax, dKeep, beta float64, initIters int) {
+	dMin, dMax, dKeep, beta = e.DoseMin, e.DoseMax, e.DoseKeep, e.Beta
+	if dMax == 0 {
+		dMax = 1.5
+	}
+	if dMin == 0 {
+		dMin = 0.3
+	}
+	if dKeep == 0 {
+		dKeep = 0.25
+	}
+	if beta == 0 {
+		beta = 6
+	}
+	initIters = e.InitIterations
+	if initIters <= 0 {
+		initIters = 12
+	}
+	return
+}
+
+// renderExposure accumulates E and maps it through the resist response.
+// It returns the smooth mask, the raw exposure, and the per-pixel resist
+// slope dM̄/dE for the backward pass.
+func renderExposure(p *Params, dose []float64, cfg Config, beta float64, w, h int) (m, exposure, slope *grid.Real) {
+	exposure = grid.NewReal(w, h)
+	for i := 0; i < p.Len(); i++ {
+		cx := opt.STERound(p.X[i], 0, float64(w-1))
+		cy := opt.STERound(p.Y[i], 0, float64(h-1))
+		cr := quantRadius(p.R[i], cfg.RMin, cfg.RMax)
+		d := dose[i]
+		ext := cr + float64(cfg.Margin)
+		x0, x1 := int(cx-ext), int(cx+ext)+1
+		y0, y1 := int(cy-ext), int(cy+ext)+1
+		if x0 < 0 {
+			x0 = 0
+		}
+		if y0 < 0 {
+			y0 = 0
+		}
+		if x1 >= w {
+			x1 = w - 1
+		}
+		if y1 >= h {
+			y1 = h - 1
+		}
+		for y := y0; y <= y1; y++ {
+			dy := float64(y) - cy
+			for x := x0; x <= x1; x++ {
+				dx := float64(x) - cx
+				dist := math.Sqrt(dx*dx + dy*dy)
+				exposure.Data[y*w+x] += d * litho.Sigmoid(cfg.Alpha*(cr-dist))
+			}
+		}
+	}
+	m = grid.NewReal(w, h)
+	slope = grid.NewReal(w, h)
+	for i, ev := range exposure.Data {
+		mv := litho.Sigmoid(beta * (ev - doseExposureThreshold))
+		m.Data[i] = mv
+		slope.Data[i] = beta * mv * (1 - mv)
+	}
+	return m, exposure, slope
+}
+
+// doseBackward accumulates ∂L/∂(x, y, r, d) for every shot given the
+// dense-mask gradient dLdM and the resist slope dM̄/dE. Exposure is
+// additive, so every shot integrates gradient over its whole window — no
+// argmax routing as in CircleOpt. Outputs are zeroed first.
+func doseBackward(p *Params, dose []float64, cfg Config, dLdM, slope *grid.Real, w, h int, gx, gy, gr, gd []float64) {
+	for i := range gx {
+		gx[i], gy[i], gr[i], gd[i] = 0, 0, 0, 0
+	}
+	for i := 0; i < p.Len(); i++ {
+		cx := opt.STERound(p.X[i], 0, float64(w-1))
+		cy := opt.STERound(p.Y[i], 0, float64(h-1))
+		cr := quantRadius(p.R[i], cfg.RMin, cfg.RMax)
+		d := dose[i]
+		ext := cr + float64(cfg.Margin)
+		x0, x1 := int(cx-ext), int(cx+ext)+1
+		y0, y1 := int(cy-ext), int(cy+ext)+1
+		if x0 < 0 {
+			x0 = 0
+		}
+		if y0 < 0 {
+			y0 = 0
+		}
+		if x1 >= w {
+			x1 = w - 1
+		}
+		if y1 >= h {
+			y1 = h - 1
+		}
+		steX := opt.STEGrad(p.X[i], 0, float64(w-1))
+		steY := opt.STEGrad(p.Y[i], 0, float64(h-1))
+		steR := opt.STEGrad(p.R[i], cfg.RMin, cfg.RMax)
+		for y := y0; y <= y1; y++ {
+			dy := float64(y) - cy
+			for x := x0; x <= x1; x++ {
+				idx := y*w + x
+				gvE := dLdM.Data[idx] * slope.Data[idx] // dL/dE at this pixel
+				if gvE == 0 {
+					continue
+				}
+				dx := float64(x) - cx
+				dist := math.Sqrt(dx*dx + dy*dy)
+				f := litho.Sigmoid(cfg.Alpha * (cr - dist))
+				hfn := f * (1 - f)
+				gd[i] += gvE * f
+				gr[i] += gvE * cfg.Alpha * d * hfn * steR
+				if dist > 1e-9 {
+					common := gvE * cfg.Alpha * d * hfn / dist
+					gx[i] += common * dx * steX
+					gy[i] += common * dy * steY
+				}
+			}
+		}
+	}
+}
+
+// Name identifies the method in reports.
+func (e *DoseOpt) Name() string { return "DoseOpt" }
+
+// Optimize runs the dose-modulated two-stage pipeline.
+func (e *DoseOpt) Optimize(sim *litho.Simulator, target *grid.Real) *DoseResult {
+	e.Cfg.validate()
+	dMin, dMax, dKeep, beta, initIters := e.defaults()
+
+	mosaicCfg := ilt.DefaultConfig()
+	mosaicCfg.Iterations = initIters
+	mosaicCfg.WL2 = e.Cfg.WL2
+	mosaicCfg.WPVB = e.Cfg.WPVB
+	rough := (&ilt.Mosaic{Cfg: mosaicCfg}).Optimize(sim, target)
+
+	ruleCfg := e.RuleCfg
+	if ruleCfg.SampleDist == 0 {
+		ruleCfg = fracture.DefaultCircleRuleConfig(sim.DX)
+	}
+	if ruleCfg.RMin < e.Cfg.RMin {
+		ruleCfg.RMin = e.Cfg.RMin
+	}
+	if ruleCfg.RMax > e.Cfg.RMax {
+		ruleCfg.RMax = e.Cfg.RMax
+	}
+	seeds := fracture.CircleRule(rough, ruleCfg)
+	if len(seeds) == 0 {
+		seeds = fracture.CircleRule(target, ruleCfg)
+	}
+	res := &DoseResult{}
+	if len(seeds) == 0 {
+		res.Mask = grid.NewReal(sim.N, sim.N)
+		return res
+	}
+	p := &Params{}
+	dose := make([]float64, 0, len(seeds))
+	for _, c := range seeds {
+		p.X = append(p.X, c.X)
+		p.Y = append(p.Y, c.Y)
+		p.R = append(p.R, c.R)
+		p.Q = append(p.Q, 1) // unused by DoseOpt; kept for Params reuse
+		dose = append(dose, 1)
+	}
+
+	n := p.Len()
+	w, h := sim.N, sim.N
+	flat := make([]float64, 4*n)
+	gradFlat := make([]float64, 4*n)
+	copy(flat[0:n], p.X)
+	copy(flat[n:2*n], p.Y)
+	copy(flat[2*n:3*n], p.R)
+	copy(flat[3*n:4*n], dose)
+	adam := opt.NewAdam(4*n, e.Cfg.LR)
+
+	for it := 0; it < e.Cfg.Iterations; it++ {
+		m, _, slope := renderExposure(p, dose, e.Cfg, beta, w, h)
+		lg := sim.LossGrad(m, target, e.Cfg.WL2, e.Cfg.WPVB)
+
+		gx := gradFlat[0:n]
+		gy := gradFlat[n : 2*n]
+		gr := gradFlat[2*n : 3*n]
+		gd := gradFlat[3*n : 4*n]
+		doseBackward(p, dose, e.Cfg, lg.GradM, slope, w, h, gx, gy, gr, gd)
+		sparsity := 0.0
+		for i := 0; i < n; i++ {
+			sparsity += math.Abs(dose[i])
+			gd[i] += e.Cfg.Gamma * sign(dose[i])
+		}
+		res.LossHistory = append(res.LossHistory, lg.Loss+e.Cfg.Gamma*sparsity)
+
+		copy(flat[0:n], p.X)
+		copy(flat[n:2*n], p.Y)
+		copy(flat[2*n:3*n], p.R)
+		copy(flat[3*n:4*n], dose)
+		adam.Step(flat, gradFlat)
+		copy(p.X, flat[0:n])
+		copy(p.Y, flat[n:2*n])
+		copy(p.R, flat[2*n:3*n])
+		copy(dose, flat[3*n:4*n])
+		for i := range dose {
+			dose[i] = opt.Clip(dose[i], 0, dMax)
+		}
+	}
+
+	// Final shot list: quantized geometry, doses clipped into the writer's
+	// band; shots below the keep threshold are dropped.
+	kept := &Params{}
+	var keptDose []float64
+	for i := 0; i < n; i++ {
+		if dose[i] < dKeep {
+			continue
+		}
+		d := opt.Clip(dose[i], dMin, dMax)
+		cx := opt.STERound(p.X[i], 0, float64(w-1))
+		cy := opt.STERound(p.Y[i], 0, float64(h-1))
+		cr := quantRadius(p.R[i], e.Cfg.RMin, e.Cfg.RMax)
+		res.Shots = append(res.Shots, DoseShot{
+			Circle: geom.Circle{X: cx, Y: cy, R: cr},
+			Dose:   d,
+		})
+		kept.X = append(kept.X, cx)
+		kept.Y = append(kept.Y, cy)
+		kept.R = append(kept.R, cr)
+		kept.Q = append(kept.Q, 1)
+		keptDose = append(keptDose, d)
+	}
+	// The manufactured mask is the region where accumulated dose clears
+	// the mask-resist threshold.
+	res.Mask = grid.NewReal(w, h)
+	if kept.Len() > 0 {
+		_, exposure, _ := renderExposure(kept, keptDose, e.Cfg, beta, w, h)
+		for i, ev := range exposure.Data {
+			if ev > doseExposureThreshold {
+				res.Mask.Data[i] = 1
+			}
+		}
+	}
+	return res
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"cfaopc/internal/grid"
+)
+
+func TestRenderExposureAdditive(t *testing.T) {
+	cfg := testCfg()
+	p := &Params{
+		X: []float64{16, 16},
+		Y: []float64{16, 16},
+		R: []float64{5, 5},
+		Q: []float64{1, 1},
+	}
+	// Two coincident half-dose shots accumulate to full exposure.
+	_, expo, _ := renderExposure(p, []float64{0.5, 0.5}, cfg, 6, 32, 32)
+	if v := expo.At(16, 16); math.Abs(v-1.0) > 0.05 {
+		t.Fatalf("stacked exposure %v, want ≈1", v)
+	}
+	m, _, _ := renderExposure(p, []float64{0.5, 0.5}, cfg, 6, 32, 32)
+	if m.At(16, 16) < 0.9 {
+		t.Fatalf("stacked half-dose shots do not clear the resist: %v", m.At(16, 16))
+	}
+	// One half-dose shot alone stays below threshold.
+	single := &Params{X: []float64{16}, Y: []float64{16}, R: []float64{5}, Q: []float64{1}}
+	m1, _, _ := renderExposure(single, []float64{0.4}, cfg, 6, 32, 32)
+	if m1.At(16, 16) > 0.4 {
+		t.Fatalf("single low-dose shot printed: %v", m1.At(16, 16))
+	}
+}
+
+func TestDoseOptEndToEnd(t *testing.T) {
+	sim, target := circleOptSetup(t)
+	cfg := testCfg()
+	e := &DoseOpt{Cfg: cfg, InitIterations: 8}
+	res := e.Optimize(sim, target)
+	if len(res.Shots) == 0 {
+		t.Fatal("no shots")
+	}
+	for _, s := range res.Shots {
+		if s.Dose < 0.3-1e-9 || s.Dose > 1.5+1e-9 {
+			t.Fatalf("dose %v outside writer band", s.Dose)
+		}
+		if s.R != math.Round(s.R) || s.X != math.Round(s.X) || s.Y != math.Round(s.Y) {
+			t.Fatalf("shot not quantized: %+v", s)
+		}
+	}
+	// Loss decreases.
+	first, last := res.LossHistory[0], res.LossHistory[len(res.LossHistory)-1]
+	if last >= first {
+		t.Fatalf("loss did not decrease: %v → %v", first, last)
+	}
+	// The print must resemble the target.
+	r := sim.Simulate(res.Mask)
+	diff := 0
+	for i := range target.Data {
+		if (r.ZNom.Data[i] > 0.5) != (target.Data[i] > 0.5) {
+			diff++
+		}
+	}
+	if diff > int(target.Sum()) {
+		t.Fatalf("printed image far from target: %d differing px", diff)
+	}
+}
+
+func TestDoseOptEmptyTarget(t *testing.T) {
+	sim, _ := circleOptSetup(t)
+	cfg := testCfg()
+	cfg.Iterations = 5
+	res := (&DoseOpt{Cfg: cfg, InitIterations: 3}).Optimize(sim, grid.NewReal(64, 64))
+	if res.Mask == nil {
+		t.Fatal("nil mask")
+	}
+}
+
+func TestDoseOptComparableToCircleOpt(t *testing.T) {
+	// The dose extension must not be dramatically worse than CircleOpt on
+	// the same budget (it has a strictly larger design space).
+	sim, target := circleOptSetup(t)
+	cfg := testCfg()
+	co := (&CircleOpt{Cfg: cfg, InitIterations: 8}).Optimize(sim, target)
+	do := (&DoseOpt{Cfg: cfg, InitIterations: 8}).Optimize(sim, target)
+
+	l2 := func(mask *grid.Real) float64 {
+		r := sim.Simulate(mask)
+		n := 0.0
+		for i := range target.Data {
+			if (r.ZNom.Data[i] > 0.5) != (target.Data[i] > 0.5) {
+				n++
+			}
+		}
+		return n
+	}
+	a, b := l2(co.Mask), l2(do.Mask)
+	if b > 2*a+20 {
+		t.Fatalf("DoseOpt print L2 %v far worse than CircleOpt %v", b, a)
+	}
+}

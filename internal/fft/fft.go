@@ -1,0 +1,174 @@
+// Package fft implements one- and two-dimensional discrete Fourier
+// transforms over complex128 slices: an iterative radix-2 Cooley–Tukey
+// kernel for power-of-two lengths and Bluestein's chirp-z algorithm for
+// every other length. It exists so the lithography simulator can evaluate
+// Hopkins convolutions as frequency-domain products without external
+// dependencies.
+//
+// Transforms use the engineering convention: Forward applies
+// X[k] = Σ x[n]·exp(-2πi·kn/N) with no scaling, Inverse applies the
+// conjugate kernel scaled by 1/N, so Inverse(Forward(x)) == x.
+package fft
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sync"
+)
+
+// Plan caches the twiddle factors and scratch state for transforms of a
+// fixed length. Plans are safe for concurrent use after creation only if
+// each goroutine uses its own scratch; the package-level helpers serialize
+// through a cache, so typical callers never touch Plan directly.
+type Plan struct {
+	n        int
+	pow2     bool
+	twiddles []complex128 // forward twiddles for radix-2, length n/2
+	// Bluestein state (nil for power-of-two sizes).
+	bluM    int          // convolution length, power of two ≥ 2n-1
+	bluW    []complex128 // chirp exp(-iπ k²/n), length n
+	bluFB   []complex128 // precomputed FFT of the chirp filter, length bluM
+	bluPlan *Plan        // radix-2 plan of length bluM
+}
+
+// NewPlan builds a transform plan for length n.
+func NewPlan(n int) *Plan {
+	if n <= 0 {
+		panic(fmt.Sprintf("fft: invalid length %d", n))
+	}
+	p := &Plan{n: n, pow2: n&(n-1) == 0}
+	if p.pow2 {
+		p.twiddles = make([]complex128, n/2)
+		for k := range p.twiddles {
+			ang := -2 * math.Pi * float64(k) / float64(n)
+			p.twiddles[k] = complex(math.Cos(ang), math.Sin(ang))
+		}
+		return p
+	}
+	// Bluestein setup: x[k]·w[k] convolved with conj(w) gives the DFT.
+	m := 1
+	for m < 2*n-1 {
+		m <<= 1
+	}
+	p.bluM = m
+	p.bluPlan = NewPlan(m)
+	p.bluW = make([]complex128, n)
+	b := make([]complex128, m)
+	for k := 0; k < n; k++ {
+		// Use k² mod 2n to avoid float blowup for large k.
+		ang := -math.Pi * float64((k*k)%(2*n)) / float64(n)
+		w := complex(math.Cos(ang), math.Sin(ang))
+		p.bluW[k] = w
+		cw := complex(real(w), -imag(w))
+		b[k] = cw
+		if k > 0 {
+			b[m-k] = cw
+		}
+	}
+	p.bluPlan.forward(b)
+	p.bluFB = b
+	return p
+}
+
+// Len returns the transform length of the plan.
+func (p *Plan) Len() int { return p.n }
+
+// Forward computes the in-place forward DFT of x, which must have length
+// Len().
+func (p *Plan) Forward(x []complex128) {
+	if len(x) != p.n {
+		panic(fmt.Sprintf("fft: length %d does not match plan %d", len(x), p.n))
+	}
+	p.forward(x)
+}
+
+// Inverse computes the in-place inverse DFT of x (scaled by 1/N).
+func (p *Plan) Inverse(x []complex128) {
+	if len(x) != p.n {
+		panic(fmt.Sprintf("fft: length %d does not match plan %d", len(x), p.n))
+	}
+	for i, v := range x {
+		x[i] = complex(real(v), -imag(v))
+	}
+	p.forward(x)
+	inv := 1 / float64(p.n)
+	for i, v := range x {
+		x[i] = complex(real(v)*inv, -imag(v)*inv)
+	}
+}
+
+func (p *Plan) forward(x []complex128) {
+	if p.pow2 {
+		p.radix2(x)
+		return
+	}
+	p.bluestein(x)
+}
+
+// radix2 is an iterative decimation-in-time Cooley–Tukey transform.
+func (p *Plan) radix2(x []complex128) {
+	n := p.n
+	if n == 1 {
+		return
+	}
+	shift := 64 - uint(bits.TrailingZeros(uint(n)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		step := n / size
+		for start := 0; start < n; start += size {
+			tw := 0
+			for k := start; k < start+half; k++ {
+				t := x[k+half] * p.twiddles[tw]
+				x[k+half] = x[k] - t
+				x[k] += t
+				tw += step
+			}
+		}
+	}
+}
+
+// bluestein evaluates an arbitrary-length DFT as a chirp-z convolution.
+func (p *Plan) bluestein(x []complex128) {
+	n, m := p.n, p.bluM
+	a := make([]complex128, m)
+	for k := 0; k < n; k++ {
+		a[k] = x[k] * p.bluW[k]
+	}
+	p.bluPlan.forward(a)
+	for i := range a {
+		a[i] *= p.bluFB[i]
+	}
+	p.bluPlan.Inverse(a)
+	for k := 0; k < n; k++ {
+		x[k] = a[k] * p.bluW[k]
+	}
+}
+
+var (
+	planMu    sync.Mutex
+	planCache = map[int]*Plan{}
+)
+
+func cachedPlan(n int) *Plan {
+	planMu.Lock()
+	defer planMu.Unlock()
+	if p, ok := planCache[n]; ok {
+		return p
+	}
+	p := NewPlan(n)
+	planCache[n] = p
+	return p
+}
+
+// Forward computes the in-place forward DFT of x using a cached plan.
+func Forward(x []complex128) { cachedPlan(len(x)).Forward(x) }
+
+// Inverse computes the in-place inverse DFT of x using a cached plan.
+func Inverse(x []complex128) { cachedPlan(len(x)).Inverse(x) }

@@ -1,0 +1,49 @@
+package fft
+
+import "cfaopc/internal/grid"
+
+// Forward2D computes the in-place 2D forward DFT of g (rows first, then
+// columns).
+func Forward2D(g *grid.Complex) { transform2D(g, true) }
+
+// Inverse2D computes the in-place 2D inverse DFT of g, scaled by 1/(W·H).
+func Inverse2D(g *grid.Complex) { transform2D(g, false) }
+
+func transform2D(g *grid.Complex, forward bool) {
+	rowPlan := cachedPlan(g.W)
+	colPlan := cachedPlan(g.H)
+	for y := 0; y < g.H; y++ {
+		row := g.Data[y*g.W : (y+1)*g.W]
+		if forward {
+			rowPlan.Forward(row)
+		} else {
+			rowPlan.Inverse(row)
+		}
+	}
+	col := make([]complex128, g.H)
+	for x := 0; x < g.W; x++ {
+		for y := 0; y < g.H; y++ {
+			col[y] = g.Data[y*g.W+x]
+		}
+		if forward {
+			colPlan.Forward(col)
+		} else {
+			colPlan.Inverse(col)
+		}
+		for y := 0; y < g.H; y++ {
+			g.Data[y*g.W+x] = col[y]
+		}
+	}
+}
+
+// Convolve returns the circular convolution of two equal-size complex grids
+// computed via the frequency domain. Inputs are not modified.
+func Convolve(a, b *grid.Complex) *grid.Complex {
+	fa := a.Clone()
+	fb := b.Clone()
+	Forward2D(fa)
+	Forward2D(fb)
+	fa.MulPointwise(fb)
+	Inverse2D(fa)
+	return fa
+}

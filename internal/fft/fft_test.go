@@ -1,0 +1,274 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cfaopc/internal/grid"
+)
+
+// naiveDFT is the O(n²) reference implementation.
+func naiveDFT(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var s complex128
+		for j := 0; j < n; j++ {
+			ang := -2 * math.Pi * float64(k*j) / float64(n)
+			s += x[j] * cmplx.Exp(complex(0, ang))
+		}
+		out[k] = s
+	}
+	return out
+}
+
+func randomSignal(n int, seed int64) []complex128 {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.Float64()*2-1, rng.Float64()*2-1)
+	}
+	return x
+}
+
+func maxErr(a, b []complex128) float64 {
+	m := 0.0
+	for i := range a {
+		if e := cmplx.Abs(a[i] - b[i]); e > m {
+			m = e
+		}
+	}
+	return m
+}
+
+func TestForwardMatchesNaive(t *testing.T) {
+	// Mix of power-of-two and Bluestein lengths.
+	for _, n := range []int{1, 2, 3, 4, 5, 7, 8, 12, 16, 17, 31, 32, 35, 64, 100, 128} {
+		x := randomSignal(n, int64(n))
+		want := naiveDFT(x)
+		got := append([]complex128(nil), x...)
+		Forward(got)
+		if e := maxErr(got, want); e > 1e-9*float64(n) {
+			t.Errorf("n=%d: max error %g vs naive DFT", n, e)
+		}
+	}
+}
+
+func TestInverseRoundTrip(t *testing.T) {
+	for _, n := range []int{1, 2, 6, 8, 15, 32, 33, 128, 200} {
+		x := randomSignal(n, int64(100+n))
+		y := append([]complex128(nil), x...)
+		Forward(y)
+		Inverse(y)
+		if e := maxErr(x, y); e > 1e-10*float64(n) {
+			t.Errorf("n=%d: roundtrip error %g", n, e)
+		}
+	}
+}
+
+func TestPlanLengthMismatchPanics(t *testing.T) {
+	p := NewPlan(8)
+	if p.Len() != 8 {
+		t.Fatalf("Len = %d", p.Len())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Forward with wrong length did not panic")
+		}
+	}()
+	p.Forward(make([]complex128, 4))
+}
+
+func TestNewPlanPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewPlan(0) did not panic")
+		}
+	}()
+	NewPlan(0)
+}
+
+func TestImpulseTransform(t *testing.T) {
+	// DFT of a unit impulse is all ones.
+	x := make([]complex128, 16)
+	x[0] = 1
+	Forward(x)
+	for i, v := range x {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Fatalf("impulse DFT[%d] = %v, want 1", i, v)
+		}
+	}
+}
+
+// Property: linearity — FFT(a·x + b·y) == a·FFT(x) + b·FFT(y).
+func TestLinearity(t *testing.T) {
+	f := func(seed int64) bool {
+		n := 48 // Bluestein path
+		rng := rand.New(rand.NewSource(seed))
+		a := complex(rng.Float64(), rng.Float64())
+		b := complex(rng.Float64(), rng.Float64())
+		x := randomSignal(n, seed+1)
+		y := randomSignal(n, seed+2)
+		lhs := make([]complex128, n)
+		for i := range lhs {
+			lhs[i] = a*x[i] + b*y[i]
+		}
+		Forward(lhs)
+		Forward(x)
+		Forward(y)
+		for i := range lhs {
+			if cmplx.Abs(lhs[i]-(a*x[i]+b*y[i])) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Parseval — Σ|x|² == (1/N)·Σ|X|².
+func TestParseval(t *testing.T) {
+	f := func(seed int64) bool {
+		n := 64
+		x := randomSignal(n, seed)
+		var timeE float64
+		for _, v := range x {
+			timeE += real(v)*real(v) + imag(v)*imag(v)
+		}
+		Forward(x)
+		var freqE float64
+		for _, v := range x {
+			freqE += real(v)*real(v) + imag(v)*imag(v)
+		}
+		return math.Abs(timeE-freqE/float64(n)) < 1e-9*timeE
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: time shift ↔ frequency phase ramp.
+func TestShiftTheorem(t *testing.T) {
+	n := 32
+	x := randomSignal(n, 7)
+	shifted := make([]complex128, n)
+	const s = 5
+	for i := range shifted {
+		shifted[i] = x[(i+s)%n]
+	}
+	Forward(x)
+	Forward(shifted)
+	for k := 0; k < n; k++ {
+		phase := cmplx.Exp(complex(0, 2*math.Pi*float64(k*s)/float64(n)))
+		if cmplx.Abs(shifted[k]-x[k]*phase) > 1e-9 {
+			t.Fatalf("shift theorem violated at k=%d", k)
+		}
+	}
+}
+
+func TestForward2DMatchesNaive(t *testing.T) {
+	w, h := 4, 3
+	g := grid.NewComplex(w, h)
+	rng := rand.New(rand.NewSource(3))
+	for i := range g.Data {
+		g.Data[i] = complex(rng.Float64(), rng.Float64())
+	}
+	want := grid.NewComplex(w, h)
+	for ky := 0; ky < h; ky++ {
+		for kx := 0; kx < w; kx++ {
+			var s complex128
+			for y := 0; y < h; y++ {
+				for x := 0; x < w; x++ {
+					ang := -2 * math.Pi * (float64(kx*x)/float64(w) + float64(ky*y)/float64(h))
+					s += g.At(x, y) * cmplx.Exp(complex(0, ang))
+				}
+			}
+			want.Set(kx, ky, s)
+		}
+	}
+	got := g.Clone()
+	Forward2D(got)
+	for i := range want.Data {
+		if cmplx.Abs(got.Data[i]-want.Data[i]) > 1e-9 {
+			t.Fatalf("2D DFT mismatch at %d: %v vs %v", i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+func Test2DRoundTrip(t *testing.T) {
+	g := grid.NewComplex(16, 8)
+	rng := rand.New(rand.NewSource(11))
+	for i := range g.Data {
+		g.Data[i] = complex(rng.Float64(), rng.Float64())
+	}
+	orig := g.Clone()
+	Forward2D(g)
+	Inverse2D(g)
+	for i := range g.Data {
+		if cmplx.Abs(g.Data[i]-orig.Data[i]) > 1e-10 {
+			t.Fatalf("2D roundtrip error at %d", i)
+		}
+	}
+}
+
+func TestConvolveDeltaIsIdentity(t *testing.T) {
+	n := 8
+	a := grid.NewComplex(n, n)
+	rng := rand.New(rand.NewSource(5))
+	for i := range a.Data {
+		a.Data[i] = complex(rng.Float64(), 0)
+	}
+	delta := grid.NewComplex(n, n)
+	delta.Set(0, 0, 1)
+	c := Convolve(a, delta)
+	for i := range a.Data {
+		if cmplx.Abs(c.Data[i]-a.Data[i]) > 1e-10 {
+			t.Fatalf("delta convolution not identity at %d", i)
+		}
+	}
+}
+
+func TestConvolveMatchesDirect(t *testing.T) {
+	n := 6
+	a := grid.NewComplex(n, n)
+	b := grid.NewComplex(n, n)
+	rng := rand.New(rand.NewSource(9))
+	for i := range a.Data {
+		a.Data[i] = complex(rng.Float64(), rng.Float64())
+		b.Data[i] = complex(rng.Float64(), rng.Float64())
+	}
+	want := grid.NewComplex(n, n)
+	for y := 0; y < n; y++ {
+		for x := 0; x < n; x++ {
+			var s complex128
+			for v := 0; v < n; v++ {
+				for u := 0; u < n; u++ {
+					s += a.At(u, v) * b.At(((x-u)%n+n)%n, ((y-v)%n+n)%n)
+				}
+			}
+			want.Set(x, y, s)
+		}
+	}
+	got := Convolve(a, b)
+	for i := range want.Data {
+		if cmplx.Abs(got.Data[i]-want.Data[i]) > 1e-8 {
+			t.Fatalf("convolution mismatch at %d: %v vs %v", i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+func BenchmarkFFT2D512(b *testing.B) {
+	g := grid.NewComplex(512, 512)
+	for i := range g.Data {
+		g.Data[i] = complex(float64(i%7), 0)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Forward2D(g)
+	}
+}

@@ -1,0 +1,122 @@
+// Package flow scales CFAOPC beyond a single simulation tile: it cuts a
+// large layout into overlapping windows, optimizes each window
+// independently (optics are shift-invariant, so one kernel set serves
+// every window), and stitches the per-window shot lists back together,
+// keeping only shots whose centers fall in each window's core region.
+// This is the standard halo-and-stitch deployment of tile-based ILT on
+// full-chip layouts.
+package flow
+
+import (
+	"fmt"
+
+	"cfaopc/internal/geom"
+	"cfaopc/internal/grid"
+	"cfaopc/internal/layout"
+	"cfaopc/internal/litho"
+	"cfaopc/internal/optics"
+)
+
+// Optimizer produces a mask and shot list for one window target.
+type Optimizer func(sim *litho.Simulator, target *grid.Real) (*grid.Real, []geom.Circle)
+
+// Config controls the tiling.
+type Config struct {
+	// GridN is the pixel count across the full layout.
+	GridN int
+	// CorePx is the core (owned) region edge of each window; shots whose
+	// centers fall here are kept.
+	CorePx int
+	// HaloPx is the optical context margin added on every side of a core;
+	// it should exceed the optical interaction range (~λ/NA ≈ 143 nm).
+	HaloPx int
+	// Optics is the imaging condition; TileNM is overridden per window.
+	Optics optics.Config
+	// KOpt truncates kernels during per-window optimization.
+	KOpt int
+	// Workers sets the per-window litho parallelism (see litho.Simulator).
+	Workers int
+	// Optimize runs on each window (e.g. a core.CircleOpt wrapper).
+	Optimize Optimizer
+}
+
+// Result is the stitched output.
+type Result struct {
+	Mask  *grid.Real    // full-grid mask re-rasterized from the shots
+	Shots []geom.Circle // full-grid shot list
+	Tiles int           // number of windows optimized
+}
+
+// Run tiles the layout and optimizes every window.
+func Run(l *layout.Layout, cfg Config) (*Result, error) {
+	switch {
+	case cfg.GridN <= 0:
+		return nil, fmt.Errorf("flow: invalid grid %d", cfg.GridN)
+	case cfg.CorePx <= 0 || cfg.HaloPx < 0:
+		return nil, fmt.Errorf("flow: invalid core %d / halo %d", cfg.CorePx, cfg.HaloPx)
+	case cfg.Optimize == nil:
+		return nil, fmt.Errorf("flow: no optimizer")
+	}
+	window := cfg.CorePx + 2*cfg.HaloPx
+	if window > cfg.GridN {
+		return nil, fmt.Errorf("flow: window %d exceeds grid %d", window, cfg.GridN)
+	}
+	dx := float64(l.TileNM) / float64(cfg.GridN)
+
+	// One simulator serves every window: same physical window size.
+	oCfg := cfg.Optics
+	oCfg.TileNM = float64(window) * dx
+	sim, err := litho.New(oCfg, window)
+	if err != nil {
+		return nil, err
+	}
+	sim.KOpt = cfg.KOpt
+	sim.Workers = cfg.Workers
+
+	full := l.Rasterize(cfg.GridN)
+	res := &Result{}
+	for cy := 0; cy < cfg.GridN; cy += cfg.CorePx {
+		for cx := 0; cx < cfg.GridN; cx += cfg.CorePx {
+			// Window origin in full-grid coordinates (may go negative at
+			// the borders; out-of-grid pixels are empty).
+			ox := cx - cfg.HaloPx
+			oy := cy - cfg.HaloPx
+			target := grid.NewReal(window, window)
+			occupied := false
+			for y := 0; y < window; y++ {
+				fy := oy + y
+				if fy < 0 || fy >= cfg.GridN {
+					continue
+				}
+				for x := 0; x < window; x++ {
+					fx := ox + x
+					if fx < 0 || fx >= cfg.GridN {
+						continue
+					}
+					v := full.Data[fy*cfg.GridN+fx]
+					target.Data[y*window+x] = v
+					if v > 0.5 {
+						occupied = true
+					}
+				}
+			}
+			res.Tiles++
+			if !occupied {
+				continue // nothing to optimize in this window
+			}
+			_, shots := cfg.Optimize(sim, target)
+			for _, s := range shots {
+				// Keep shots owned by this core.
+				gx := s.X + float64(ox)
+				gy := s.Y + float64(oy)
+				if gx < float64(cx) || gx >= float64(cx+cfg.CorePx) ||
+					gy < float64(cy) || gy >= float64(cy+cfg.CorePx) {
+					continue
+				}
+				res.Shots = append(res.Shots, geom.Circle{X: gx, Y: gy, R: s.R})
+			}
+		}
+	}
+	res.Mask = geom.RasterizeCircles(cfg.GridN, cfg.GridN, res.Shots)
+	return res, nil
+}

@@ -1,0 +1,168 @@
+package flow
+
+import (
+	"testing"
+
+	"cfaopc/internal/core"
+	"cfaopc/internal/geom"
+	"cfaopc/internal/grid"
+	"cfaopc/internal/layout"
+	"cfaopc/internal/litho"
+	"cfaopc/internal/optics"
+)
+
+// circleOptimizer adapts core.CircleOpt to the flow Optimizer signature.
+func circleOptimizer(iters int) Optimizer {
+	return func(sim *litho.Simulator, target *grid.Real) (*grid.Real, []geom.Circle) {
+		cfg := core.DefaultConfig(sim.DX)
+		cfg.Iterations = iters
+		res := (&core.CircleOpt{Cfg: cfg, InitIterations: 5}).Optimize(sim, target)
+		return res.Mask, res.Shots
+	}
+}
+
+// bigLayout builds a 1024 nm layout with features in two distant corners,
+// so a 2×2 tiling puts work in separate windows.
+func bigLayout() *layout.Layout {
+	return &layout.Layout{
+		Name:   "big",
+		TileNM: 1024,
+		Rects: []layout.Rect{
+			{X: 180, Y: 150, W: 72, H: 260},
+			{X: 640, Y: 600, W: 80, H: 240},
+		},
+	}
+}
+
+func testConfig() Config {
+	o := optics.Default()
+	return Config{
+		GridN:    256, // 4 nm/px over 1024 nm
+		CorePx:   128,
+		HaloPx:   32, // 128 nm context
+		Optics:   o,
+		KOpt:     4,
+		Optimize: circleOptimizer(8),
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	l := bigLayout()
+	bad := testConfig()
+	bad.GridN = 0
+	if _, err := Run(l, bad); err == nil {
+		t.Error("zero grid accepted")
+	}
+	bad = testConfig()
+	bad.Optimize = nil
+	if _, err := Run(l, bad); err == nil {
+		t.Error("nil optimizer accepted")
+	}
+	bad = testConfig()
+	bad.CorePx = 300
+	bad.HaloPx = 100 // window 500 > grid 256
+	if _, err := Run(l, bad); err == nil {
+		t.Error("oversized window accepted")
+	}
+}
+
+func TestRunStitchesTiles(t *testing.T) {
+	l := bigLayout()
+	cfg := testConfig()
+	res, err := Run(l, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tiles != 4 {
+		t.Fatalf("tiles = %d, want 4", res.Tiles)
+	}
+	if len(res.Shots) == 0 {
+		t.Fatal("no shots")
+	}
+	// Shots must appear near both features (top-left and bottom-right).
+	nearTL, nearBR := 0, 0
+	for _, s := range res.Shots {
+		if s.X < 128 && s.Y < 128 {
+			nearTL++
+		}
+		if s.X >= 128 && s.Y >= 128 {
+			nearBR++
+		}
+	}
+	if nearTL == 0 || nearBR == 0 {
+		t.Fatalf("shots not distributed: TL=%d BR=%d", nearTL, nearBR)
+	}
+	// No shot far from any target feature (> 200 nm).
+	target := l.Rasterize(cfg.GridN)
+	d := geom.DistanceTransform(target)
+	dxNM := float64(l.TileNM) / float64(cfg.GridN)
+	for _, s := range res.Shots {
+		px, py := int(s.X), int(s.Y)
+		if px < 0 || px >= cfg.GridN || py < 0 || py >= cfg.GridN {
+			t.Fatalf("shot outside grid: %+v", s)
+		}
+		if d.At(px, py)*dxNM > 200 {
+			t.Fatalf("stray shot %v nm from any feature", d.At(px, py)*dxNM)
+		}
+	}
+	// The stitched mask prints both features.
+	oCfg := cfg.Optics
+	oCfg.TileNM = float64(l.TileNM)
+	fullSim, err := litho.New(oCfg, cfg.GridN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	print := fullSim.Simulate(res.Mask)
+	covered := 0
+	total := 0
+	for i := range target.Data {
+		if target.Data[i] > 0.5 {
+			total++
+			if print.ZNom.Data[i] > 0.5 {
+				covered++
+			}
+		}
+	}
+	if float64(covered)/float64(total) < 0.6 {
+		t.Fatalf("stitched print covers only %d/%d of the target", covered, total)
+	}
+}
+
+func TestRunEmptyLayout(t *testing.T) {
+	l := &layout.Layout{Name: "empty", TileNM: 1024}
+	res, err := Run(l, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Shots) != 0 {
+		t.Fatalf("empty layout produced %d shots", len(res.Shots))
+	}
+	if res.Tiles != 4 {
+		t.Fatalf("tiles = %d", res.Tiles)
+	}
+}
+
+func TestCoreOwnershipNoDuplicates(t *testing.T) {
+	// A feature placed exactly on a tile seam must not produce duplicated
+	// shots: each shot center is owned by exactly one core.
+	l := &layout.Layout{
+		Name:   "seam",
+		TileNM: 1024,
+		Rects:  []layout.Rect{{X: 460, Y: 400, W: 100, H: 200}}, // spans x=512 seam
+	}
+	res, err := Run(l, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Shots) == 0 {
+		t.Fatal("no shots")
+	}
+	seen := map[[3]int]int{}
+	for _, s := range res.Shots {
+		k := [3]int{int(s.X), int(s.Y), int(s.R)}
+		seen[k]++
+		if seen[k] > 1 {
+			t.Fatalf("duplicated shot %v", k)
+		}
+	}
+}

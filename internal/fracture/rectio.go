@@ -1,0 +1,61 @@
+package fracture
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"cfaopc/internal/geom"
+)
+
+// WriteRectShotsCSV emits a VSB rectangle shot list as
+// "x_nm,y_nm,w_nm,h_nm" rows, the rectangular counterpart of
+// WriteShotsCSV. Rects are in pixels and scaled by dxNM.
+func WriteRectShotsCSV(w io.Writer, rects []geom.Rect, dxNM float64) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "x_nm,y_nm,w_nm,h_nm"); err != nil {
+		return err
+	}
+	for _, r := range rects {
+		if _, err := fmt.Fprintf(bw, "%.1f,%.1f,%.1f,%.1f\n",
+			float64(r.X)*dxNM, float64(r.Y)*dxNM,
+			float64(r.W)*dxNM, float64(r.H)*dxNM); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadRectShotsCSV parses the format written by WriteRectShotsCSV back
+// into pixel rects.
+func ReadRectShotsCSV(r io.Reader, dxNM float64) ([]geom.Rect, error) {
+	if dxNM <= 0 {
+		return nil, fmt.Errorf("fracture: invalid pixel size %g", dxNM)
+	}
+	sc := bufio.NewScanner(r)
+	var rects []geom.Rect
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line == "x_nm,y_nm,w_nm,h_nm" {
+			continue
+		}
+		var x, y, w, h float64
+		if _, err := fmt.Sscanf(strings.ReplaceAll(line, ",", " "), "%g %g %g %g", &x, &y, &w, &h); err != nil {
+			return nil, fmt.Errorf("fracture: rect shots line %d: %v", lineNo, err)
+		}
+		if w <= 0 || h <= 0 {
+			return nil, fmt.Errorf("fracture: rect shots line %d: non-positive size", lineNo)
+		}
+		rects = append(rects, geom.Rect{
+			X: int(x/dxNM + 0.5), Y: int(y/dxNM + 0.5),
+			W: int(w/dxNM + 0.5), H: int(h/dxNM + 0.5),
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return rects, nil
+}

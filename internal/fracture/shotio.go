@@ -1,0 +1,56 @@
+package fracture
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"cfaopc/internal/geom"
+)
+
+// WriteShotsCSV emits a circular shot list as "x_nm,y_nm,r_nm" rows — the
+// interchange format a circular e-beam writer's data path would ingest.
+// Shots are given in pixels and scaled by dxNM.
+func WriteShotsCSV(w io.Writer, shots []geom.Circle, dxNM float64) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "x_nm,y_nm,r_nm"); err != nil {
+		return err
+	}
+	for _, s := range shots {
+		if _, err := fmt.Fprintf(bw, "%.1f,%.1f,%.1f\n", s.X*dxNM, s.Y*dxNM, s.R*dxNM); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadShotsCSV parses the format written by WriteShotsCSV, returning shots
+// in pixels of a grid with dxNM nanometers per pixel.
+func ReadShotsCSV(r io.Reader, dxNM float64) ([]geom.Circle, error) {
+	if dxNM <= 0 {
+		return nil, fmt.Errorf("fracture: invalid pixel size %g", dxNM)
+	}
+	sc := bufio.NewScanner(r)
+	var shots []geom.Circle
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line == "x_nm,y_nm,r_nm" {
+			continue
+		}
+		var x, y, rad float64
+		if _, err := fmt.Sscanf(strings.ReplaceAll(line, ",", " "), "%g %g %g", &x, &y, &rad); err != nil {
+			return nil, fmt.Errorf("fracture: shots line %d: %v", lineNo, err)
+		}
+		if rad <= 0 {
+			return nil, fmt.Errorf("fracture: shots line %d: non-positive radius", lineNo)
+		}
+		shots = append(shots, geom.Circle{X: x / dxNM, Y: y / dxNM, R: rad / dxNM})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return shots, nil
+}

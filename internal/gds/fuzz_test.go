@@ -1,0 +1,41 @@
+package gds
+
+import (
+	"bytes"
+	"testing"
+
+	"cfaopc/internal/layout"
+)
+
+// FuzzRead ensures the GDSII reader never panics on malformed streams and
+// that accepted streams yield valid layouts.
+func FuzzRead(f *testing.F) {
+	// Seed with a genuine stream plus truncations/mutations of it.
+	var buf bytes.Buffer
+	l := &layout.Layout{Name: "seed", TileNM: 256, Rects: []layout.Rect{{X: 10, Y: 10, W: 30, H: 40}}}
+	if err := Write(&buf, l, 1); err != nil {
+		f.Fatal(err)
+	}
+	full := buf.Bytes()
+	f.Add(full)
+	f.Add(full[:len(full)/2])
+	f.Add(full[:7])
+	mutated := append([]byte(nil), full...)
+	if len(mutated) > 30 {
+		mutated[20] ^= 0xff
+		mutated[30] ^= 0x0f
+	}
+	f.Add(mutated)
+	f.Add([]byte{})
+	f.Add([]byte{0, 6, 0x00, 0x02, 0, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := Read(bytes.NewReader(data), -1)
+		if err != nil {
+			return
+		}
+		if err := got.Validate(); err != nil {
+			t.Fatalf("accepted stream produced invalid layout: %v", err)
+		}
+	})
+}

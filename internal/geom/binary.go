@@ -1,0 +1,181 @@
+// Package geom supplies the raster geometry algorithms the fracturing and
+// rule-based packages are built on: connected-component labeling, binary
+// morphology, Zhang–Suen skeletonization, exact Euclidean distance
+// transforms, and minimum rectangle partition of rectilinear regions via
+// concave-chord bipartite matching.
+//
+// All algorithms operate on binary masks represented as *grid.Real with
+// values 0 and 1 (anything > 0.5 counts as foreground).
+package geom
+
+import (
+	"cfaopc/internal/grid"
+)
+
+// Pt is an integer pixel coordinate.
+type Pt struct{ X, Y int }
+
+// fg reports whether (x, y) is a foreground pixel, treating out-of-bounds
+// as background.
+func fg(m *grid.Real, x, y int) bool {
+	return x >= 0 && x < m.W && y >= 0 && y < m.H && m.Data[y*m.W+x] > 0.5
+}
+
+// Labels holds the result of connected-component labeling: Label[i] is the
+// 1-based component id of pixel i (0 for background) and N the number of
+// components.
+type Labels struct {
+	W, H  int
+	Label []int32
+	N     int
+}
+
+// Components labels the foreground of m into connected regions. With
+// eightConn true, diagonal neighbours connect (the convention CircleRule
+// uses, matching skeleton 8-neighbourhoods); otherwise 4-connectivity.
+func Components(m *grid.Real, eightConn bool) *Labels {
+	l := &Labels{W: m.W, H: m.H, Label: make([]int32, m.W*m.H)}
+	var stack []int
+	neigh4 := [][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}}
+	neigh8 := [][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}, {1, 1}, {1, -1}, {-1, 1}, {-1, -1}}
+	neigh := neigh4
+	if eightConn {
+		neigh = neigh8
+	}
+	for start := range m.Data {
+		if m.Data[start] <= 0.5 || l.Label[start] != 0 {
+			continue
+		}
+		l.N++
+		id := int32(l.N)
+		stack = append(stack[:0], start)
+		l.Label[start] = id
+		for len(stack) > 0 {
+			cur := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			cx, cy := cur%m.W, cur/m.W
+			for _, d := range neigh {
+				nx, ny := cx+d[0], cy+d[1]
+				if nx < 0 || nx >= m.W || ny < 0 || ny >= m.H {
+					continue
+				}
+				ni := ny*m.W + nx
+				if m.Data[ni] > 0.5 && l.Label[ni] == 0 {
+					l.Label[ni] = id
+					stack = append(stack, ni)
+				}
+			}
+		}
+	}
+	return l
+}
+
+// Region returns the binary mask of one labeled component (1-based id).
+func (l *Labels) Region(id int) *grid.Real {
+	r := grid.NewReal(l.W, l.H)
+	want := int32(id)
+	for i, v := range l.Label {
+		if v == want {
+			r.Data[i] = 1
+		}
+	}
+	return r
+}
+
+// Area returns the pixel count of component id.
+func (l *Labels) Area(id int) int {
+	n := 0
+	want := int32(id)
+	for _, v := range l.Label {
+		if v == want {
+			n++
+		}
+	}
+	return n
+}
+
+// DiskElement returns the offsets of a discrete disk of the given radius,
+// the structuring element used by circle-aware morphology.
+func DiskElement(radius int) []Pt {
+	var pts []Pt
+	r2 := radius * radius
+	for dy := -radius; dy <= radius; dy++ {
+		for dx := -radius; dx <= radius; dx++ {
+			if dx*dx+dy*dy <= r2 {
+				pts = append(pts, Pt{dx, dy})
+			}
+		}
+	}
+	return pts
+}
+
+// Dilate returns m dilated by the structuring element.
+func Dilate(m *grid.Real, elem []Pt) *grid.Real {
+	out := grid.NewReal(m.W, m.H)
+	for y := 0; y < m.H; y++ {
+		for x := 0; x < m.W; x++ {
+			if m.Data[y*m.W+x] <= 0.5 {
+				continue
+			}
+			for _, d := range elem {
+				nx, ny := x+d.X, y+d.Y
+				if nx >= 0 && nx < m.W && ny >= 0 && ny < m.H {
+					out.Data[ny*m.W+nx] = 1
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Erode returns m eroded by the structuring element (pixels whose whole
+// element neighbourhood is foreground; the border acts as background).
+func Erode(m *grid.Real, elem []Pt) *grid.Real {
+	out := grid.NewReal(m.W, m.H)
+	for y := 0; y < m.H; y++ {
+	pixel:
+		for x := 0; x < m.W; x++ {
+			for _, d := range elem {
+				if !fg(m, x+d.X, y+d.Y) {
+					continue pixel
+				}
+			}
+			out.Data[y*m.W+x] = 1
+		}
+	}
+	return out
+}
+
+// Open is erosion followed by dilation (removes speckles thinner than the
+// element).
+func Open(m *grid.Real, elem []Pt) *grid.Real { return Dilate(Erode(m, elem), elem) }
+
+// Close is dilation followed by erosion (fills gaps thinner than the
+// element).
+func Close(m *grid.Real, elem []Pt) *grid.Real { return Erode(Dilate(m, elem), elem) }
+
+// RemoveCheckerboards rewrites m in place so that no 2×2 neighbourhood has
+// the two-diagonal pattern (non-manifold corners), by filling one cell.
+// Rectilinear partition requires manifold region boundaries.
+func RemoveCheckerboards(m *grid.Real) {
+	for changed := true; changed; {
+		changed = false
+		for y := 0; y+1 < m.H; y++ {
+			for x := 0; x+1 < m.W; x++ {
+				a := m.Data[y*m.W+x] > 0.5
+				b := m.Data[y*m.W+x+1] > 0.5
+				c := m.Data[(y+1)*m.W+x] > 0.5
+				d := m.Data[(y+1)*m.W+x+1] > 0.5
+				if a == d && b == c && a != b {
+					// Fill the top-left background cell of the pair.
+					if a {
+						m.Data[y*m.W+x+1] = 1
+					} else {
+						m.Data[y*m.W+x] = 1
+					}
+					changed = true
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,191 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+
+	"cfaopc/internal/grid"
+)
+
+// mk builds a binary grid from string rows ('#' = foreground).
+func mk(rows ...string) *grid.Real {
+	h := len(rows)
+	w := len(rows[0])
+	m := grid.NewReal(w, h)
+	for y, r := range rows {
+		for x, c := range r {
+			if c == '#' {
+				m.Set(x, y, 1)
+			}
+		}
+	}
+	return m
+}
+
+func TestComponentsFourVsEight(t *testing.T) {
+	m := mk(
+		"#..",
+		".#.",
+		"..#",
+	)
+	if l := Components(m, false); l.N != 3 {
+		t.Fatalf("4-conn components = %d, want 3", l.N)
+	}
+	if l := Components(m, true); l.N != 1 {
+		t.Fatalf("8-conn components = %d, want 1", l.N)
+	}
+}
+
+func TestComponentsRegionsAndAreas(t *testing.T) {
+	m := mk(
+		"##..#",
+		"##..#",
+		".....",
+		"###..",
+	)
+	l := Components(m, false)
+	if l.N != 3 {
+		t.Fatalf("components = %d, want 3", l.N)
+	}
+	total := 0
+	for id := 1; id <= l.N; id++ {
+		a := l.Area(id)
+		total += a
+		r := l.Region(id)
+		if int(r.Sum()) != a {
+			t.Fatalf("region %d area mismatch: %v vs %d", id, r.Sum(), a)
+		}
+	}
+	if total != int(m.Sum()) {
+		t.Fatalf("component areas %d do not sum to mask area %v", total, m.Sum())
+	}
+}
+
+func TestComponentsEmpty(t *testing.T) {
+	if l := Components(grid.NewReal(4, 4), true); l.N != 0 {
+		t.Fatalf("empty mask has %d components", l.N)
+	}
+}
+
+func TestDiskElement(t *testing.T) {
+	d0 := DiskElement(0)
+	if len(d0) != 1 || d0[0] != (Pt{0, 0}) {
+		t.Fatalf("disk(0) = %v", d0)
+	}
+	d1 := DiskElement(1)
+	if len(d1) != 5 { // center + 4 axis neighbours
+		t.Fatalf("disk(1) has %d points, want 5", len(d1))
+	}
+	// Disk is symmetric under (x,y) → (-x,-y).
+	set := map[Pt]bool{}
+	for _, p := range DiskElement(3) {
+		set[p] = true
+	}
+	for p := range set {
+		if !set[Pt{-p.X, -p.Y}] {
+			t.Fatalf("disk not symmetric at %v", p)
+		}
+	}
+}
+
+func TestDilateErodeBasics(t *testing.T) {
+	m := mk(
+		".....",
+		".....",
+		"..#..",
+		".....",
+		".....",
+	)
+	d := Dilate(m, DiskElement(1))
+	if int(d.Sum()) != 5 {
+		t.Fatalf("dilated area = %v, want 5", d.Sum())
+	}
+	e := Erode(d, DiskElement(1))
+	if int(e.Sum()) != 1 || e.At(2, 2) != 1 {
+		t.Fatalf("erode(dilate) != original point: %v", e.Data)
+	}
+}
+
+func TestErodeBorderActsAsBackground(t *testing.T) {
+	m := grid.NewReal(3, 3)
+	m.Fill(1)
+	e := Erode(m, DiskElement(1))
+	if int(e.Sum()) != 1 || e.At(1, 1) != 1 {
+		t.Fatalf("erosion of full grid should leave center only, got %v", e.Data)
+	}
+}
+
+func TestOpenRemovesSpeckle(t *testing.T) {
+	m := mk(
+		"#....",
+		".....",
+		"..###",
+		"..###",
+		"..###",
+	)
+	o := Open(m, DiskElement(1))
+	if o.At(0, 0) != 0 {
+		t.Fatal("opening kept the speckle")
+	}
+	if o.At(3, 3) != 1 {
+		t.Fatal("opening destroyed the solid block center")
+	}
+}
+
+func TestCloseFillsGap(t *testing.T) {
+	m := mk(
+		"##.##",
+		"##.##",
+		"##.##",
+	)
+	c := Close(m, DiskElement(1))
+	if c.At(2, 1) != 1 {
+		t.Fatal("closing did not bridge the 1px gap")
+	}
+}
+
+// Property: dilation is extensive (m ⊆ dilate(m)), erosion anti-extensive.
+func TestMorphologyExtensivity(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		m := grid.NewReal(16, 16)
+		for i := range m.Data {
+			if rng.Float64() < 0.3 {
+				m.Data[i] = 1
+			}
+		}
+		d := Dilate(m, DiskElement(2))
+		e := Erode(m, DiskElement(2))
+		for i := range m.Data {
+			if m.Data[i] == 1 && d.Data[i] != 1 {
+				t.Fatal("dilation not extensive")
+			}
+			if e.Data[i] == 1 && m.Data[i] != 1 {
+				t.Fatal("erosion not anti-extensive")
+			}
+		}
+	}
+}
+
+func TestRemoveCheckerboards(t *testing.T) {
+	m := mk(
+		"#.",
+		".#",
+	)
+	RemoveCheckerboards(m)
+	// No 2×2 checkerboard may remain.
+	for y := 0; y+1 < m.H; y++ {
+		for x := 0; x+1 < m.W; x++ {
+			a := m.At(x, y) > 0.5
+			b := m.At(x+1, y) > 0.5
+			c := m.At(x, y+1) > 0.5
+			d := m.At(x+1, y+1) > 0.5
+			if a == d && b == c && a != b {
+				t.Fatal("checkerboard pattern remains")
+			}
+		}
+	}
+	if m.Sum() < 2 {
+		t.Fatal("RemoveCheckerboards deleted foreground instead of filling")
+	}
+}

@@ -1,0 +1,260 @@
+package geom
+
+import (
+	"math"
+
+	"cfaopc/internal/grid"
+)
+
+// PtF is a sub-pixel point in pixel coordinates.
+type PtF struct{ X, Y float64 }
+
+// Contour is an ordered polyline; Closed contours repeat no point but wrap
+// implicitly from the last point to the first.
+type Contour struct {
+	Points []PtF
+	Closed bool
+}
+
+// Contours extracts iso-level boundaries of a scalar field using marching
+// squares with linear interpolation, returning one polyline per boundary
+// loop. For binary masks (level 0.5) these are the sub-pixel feature
+// outlines used for perimeter and contour-distance measurements.
+func Contours(m *grid.Real, level float64) []Contour {
+	w, h := m.W, m.H
+	// Segment endpoints are stored on cell-edge keys so loops can be
+	// chained exactly without float comparisons: an edge is identified by
+	// (x, y, horizontal?) of its cell corner.
+	type edge struct {
+		x, y int
+		horz bool
+	}
+	pos := map[edge]PtF{}
+	adj := map[edge][]edge{}
+
+	val := func(x, y int) float64 { return m.Data[y*w+x] }
+	interp := func(a, b float64) float64 {
+		if math.Abs(b-a) < 1e-12 {
+			return 0.5
+		}
+		t := (level - a) / (b - a)
+		if t < 0 {
+			t = 0
+		}
+		if t > 1 {
+			t = 1
+		}
+		return t
+	}
+
+	addSeg := func(e1, e2 edge, p1, p2 PtF) {
+		pos[e1] = p1
+		pos[e2] = p2
+		adj[e1] = append(adj[e1], e2)
+		adj[e2] = append(adj[e2], e1)
+	}
+
+	for y := 0; y+1 < h; y++ {
+		for x := 0; x+1 < w; x++ {
+			tl := val(x, y)
+			tr := val(x+1, y)
+			bl := val(x, y+1)
+			br := val(x+1, y+1)
+			idx := 0
+			if tl > level {
+				idx |= 1
+			}
+			if tr > level {
+				idx |= 2
+			}
+			if br > level {
+				idx |= 4
+			}
+			if bl > level {
+				idx |= 8
+			}
+			if idx == 0 || idx == 15 {
+				continue
+			}
+			// Edge crossing points (cell-local).
+			top := edge{x, y, true}
+			bottom := edge{x, y + 1, true}
+			left := edge{x, y, false}
+			right := edge{x + 1, y, false}
+			topP := PtF{float64(x) + interp(tl, tr), float64(y)}
+			bottomP := PtF{float64(x) + interp(bl, br), float64(y + 1)}
+			leftP := PtF{float64(x), float64(y) + interp(tl, bl)}
+			rightP := PtF{float64(x + 1), float64(y) + interp(tr, br)}
+
+			switch idx {
+			case 1, 14:
+				addSeg(top, left, topP, leftP)
+			case 2, 13:
+				addSeg(top, right, topP, rightP)
+			case 3, 12:
+				addSeg(left, right, leftP, rightP)
+			case 4, 11:
+				addSeg(right, bottom, rightP, bottomP)
+			case 6, 9:
+				addSeg(top, bottom, topP, bottomP)
+			case 7, 8:
+				addSeg(left, bottom, leftP, bottomP)
+			case 5: // saddle: tl+br set — resolve by center average
+				if (tl+tr+bl+br)/4 > level {
+					addSeg(top, right, topP, rightP)
+					addSeg(left, bottom, leftP, bottomP)
+				} else {
+					addSeg(top, left, topP, leftP)
+					addSeg(right, bottom, rightP, bottomP)
+				}
+			case 10: // saddle: tr+bl set
+				if (tl+tr+bl+br)/4 > level {
+					addSeg(top, left, topP, leftP)
+					addSeg(right, bottom, rightP, bottomP)
+				} else {
+					addSeg(top, right, topP, rightP)
+					addSeg(left, bottom, leftP, bottomP)
+				}
+			}
+		}
+	}
+
+	// Chain segments into polylines.
+	visited := map[edge]bool{}
+	var out []Contour
+	for start := range adj {
+		if visited[start] {
+			continue
+		}
+		chain := []edge{start}
+		visited[start] = true
+		cur := start
+		for {
+			var next *edge
+			for _, n := range adj[cur] {
+				if !visited[n] {
+					nn := n
+					next = &nn
+					break
+				}
+			}
+			if next == nil {
+				break
+			}
+			visited[*next] = true
+			chain = append(chain, *next)
+			cur = *next
+		}
+		// Extend backwards from the start if it was mid-chain.
+		cur = start
+		for {
+			var prev *edge
+			for _, n := range adj[cur] {
+				if !visited[n] {
+					nn := n
+					prev = &nn
+					break
+				}
+			}
+			if prev == nil {
+				break
+			}
+			visited[*prev] = true
+			chain = append([]edge{*prev}, chain...)
+			cur = *prev
+		}
+		pts := make([]PtF, len(chain))
+		for i, e := range chain {
+			pts[i] = pos[e]
+		}
+		closed := false
+		if len(chain) > 2 {
+			last := chain[len(chain)-1]
+			for _, n := range adj[last] {
+				if n == chain[0] {
+					closed = true
+					break
+				}
+			}
+		}
+		out = append(out, Contour{Points: pts, Closed: closed})
+	}
+	return out
+}
+
+// Perimeter returns the polyline length of a contour (including the
+// closing segment for closed contours).
+func (c Contour) Perimeter() float64 {
+	if len(c.Points) < 2 {
+		return 0
+	}
+	p := 0.0
+	for i := 1; i < len(c.Points); i++ {
+		p += math.Hypot(c.Points[i].X-c.Points[i-1].X, c.Points[i].Y-c.Points[i-1].Y)
+	}
+	if c.Closed {
+		n := len(c.Points)
+		p += math.Hypot(c.Points[0].X-c.Points[n-1].X, c.Points[0].Y-c.Points[n-1].Y)
+	}
+	return p
+}
+
+// DistanceToContours returns the minimum Euclidean distance from p to any
+// contour segment (+Inf when there are no contours).
+func DistanceToContours(cs []Contour, p PtF) float64 {
+	best := math.Inf(1)
+	for _, c := range cs {
+		n := len(c.Points)
+		if n == 0 {
+			continue
+		}
+		if n == 1 {
+			d := math.Hypot(p.X-c.Points[0].X, p.Y-c.Points[0].Y)
+			if d < best {
+				best = d
+			}
+			continue
+		}
+		limit := n - 1
+		if c.Closed {
+			limit = n
+		}
+		for i := 0; i < limit; i++ {
+			a := c.Points[i]
+			b := c.Points[(i+1)%n]
+			if d := pointSegDist(p, a, b); d < best {
+				best = d
+			}
+		}
+	}
+	return best
+}
+
+func pointSegDist(p, a, b PtF) float64 {
+	abx, aby := b.X-a.X, b.Y-a.Y
+	apx, apy := p.X-a.X, p.Y-a.Y
+	den := abx*abx + aby*aby
+	t := 0.0
+	if den > 1e-18 {
+		t = (apx*abx + apy*aby) / den
+		if t < 0 {
+			t = 0
+		}
+		if t > 1 {
+			t = 1
+		}
+	}
+	dx := p.X - (a.X + t*abx)
+	dy := p.Y - (a.Y + t*aby)
+	return math.Hypot(dx, dy)
+}
+
+// TotalPerimeter sums the perimeter of all contours of a binary mask at
+// the 0.5 level — a mask-complexity measure used alongside shot counts.
+func TotalPerimeter(m *grid.Real) float64 {
+	total := 0.0
+	for _, c := range Contours(m, 0.5) {
+		total += c.Perimeter()
+	}
+	return total
+}

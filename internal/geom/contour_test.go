@@ -1,0 +1,157 @@
+package geom
+
+import (
+	"math"
+	"testing"
+
+	"cfaopc/internal/grid"
+)
+
+func TestContoursOfSquare(t *testing.T) {
+	m := grid.NewReal(16, 16)
+	for y := 4; y < 12; y++ {
+		for x := 4; x < 12; x++ {
+			m.Set(x, y, 1)
+		}
+	}
+	cs := Contours(m, 0.5)
+	if len(cs) != 1 {
+		t.Fatalf("square has %d contours, want 1", len(cs))
+	}
+	c := cs[0]
+	if !c.Closed {
+		t.Fatal("square contour not closed")
+	}
+	// An 8×8 pixel square has boundary length ≈ 4·8 = 32 px at the 0.5
+	// level (crossings sit half a pixel outside the filled centers, so
+	// allow a generous band).
+	p := c.Perimeter()
+	if p < 24 || p > 40 {
+		t.Fatalf("square perimeter %v, want ≈ 32", p)
+	}
+	// All contour points must hug the square boundary.
+	for _, pt := range c.Points {
+		if pt.X < 3 || pt.X > 12 || pt.Y < 3 || pt.Y > 12 {
+			t.Fatalf("contour point %v far from the square", pt)
+		}
+	}
+}
+
+func TestContoursEmptyAndFull(t *testing.T) {
+	if cs := Contours(grid.NewReal(8, 8), 0.5); len(cs) != 0 {
+		t.Fatalf("empty mask produced %d contours", len(cs))
+	}
+	full := grid.NewReal(8, 8)
+	full.Fill(1)
+	// A full mask has no interior level crossings between pixel centers.
+	if cs := Contours(full, 0.5); len(cs) != 0 {
+		t.Fatalf("full mask produced %d contours", len(cs))
+	}
+}
+
+func TestContoursTwoBlobs(t *testing.T) {
+	m := grid.NewReal(20, 10)
+	for y := 2; y < 7; y++ {
+		for x := 2; x < 7; x++ {
+			m.Set(x, y, 1)
+		}
+		for x := 12; x < 17; x++ {
+			m.Set(x, y, 1)
+		}
+	}
+	cs := Contours(m, 0.5)
+	if len(cs) != 2 {
+		t.Fatalf("two blobs produced %d contours", len(cs))
+	}
+	for i, c := range cs {
+		if !c.Closed {
+			t.Fatalf("contour %d not closed", i)
+		}
+	}
+}
+
+func TestContoursRing(t *testing.T) {
+	// A ring has an outer and an inner contour.
+	m := grid.NewReal(20, 20)
+	for y := 3; y < 17; y++ {
+		for x := 3; x < 17; x++ {
+			m.Set(x, y, 1)
+		}
+	}
+	for y := 7; y < 13; y++ {
+		for x := 7; x < 13; x++ {
+			m.Set(x, y, 0)
+		}
+	}
+	cs := Contours(m, 0.5)
+	if len(cs) != 2 {
+		t.Fatalf("ring produced %d contours, want 2", len(cs))
+	}
+}
+
+func TestDistanceToContours(t *testing.T) {
+	m := grid.NewReal(16, 16)
+	for y := 4; y < 12; y++ {
+		for x := 4; x < 12; x++ {
+			m.Set(x, y, 1)
+		}
+	}
+	cs := Contours(m, 0.5)
+	// The center of the square is ~4 px from the nearest edge (edges at
+	// ~3.5 and ~11.5).
+	center := PtF{7.5, 7.5}
+	d := DistanceToContours(cs, center)
+	if d < 3 || d > 5 {
+		t.Fatalf("center distance %v, want ≈ 4", d)
+	}
+	// A point on the boundary is at ~0 distance.
+	edgePt := PtF{3.5, 7.5}
+	if d := DistanceToContours(cs, edgePt); d > 0.6 {
+		t.Fatalf("edge distance %v, want ≈ 0", d)
+	}
+	if !math.IsInf(DistanceToContours(nil, center), 1) {
+		t.Fatal("no contours should give +Inf")
+	}
+}
+
+func TestTotalPerimeterScalesWithFeatureCount(t *testing.T) {
+	one := grid.NewReal(32, 32)
+	for y := 4; y < 10; y++ {
+		for x := 4; x < 10; x++ {
+			one.Set(x, y, 1)
+		}
+	}
+	two := one.Clone()
+	for y := 18; y < 24; y++ {
+		for x := 18; x < 24; x++ {
+			two.Set(x, y, 1)
+		}
+	}
+	p1 := TotalPerimeter(one)
+	p2 := TotalPerimeter(two)
+	if math.Abs(p2-2*p1) > 0.05*p2 {
+		t.Fatalf("perimeters %v and %v should differ by 2x", p1, p2)
+	}
+}
+
+func TestContourOfCircleMatchesAnalyticPerimeter(t *testing.T) {
+	m := grid.NewReal(64, 64)
+	r := 20.0
+	for y := 0; y < 64; y++ {
+		for x := 0; x < 64; x++ {
+			dx, dy := float64(x)-32, float64(y)-32
+			if dx*dx+dy*dy <= r*r {
+				m.Set(x, y, 1)
+			}
+		}
+	}
+	cs := Contours(m, 0.5)
+	if len(cs) != 1 {
+		t.Fatalf("disk produced %d contours", len(cs))
+	}
+	got := cs[0].Perimeter()
+	want := 2 * math.Pi * r
+	if math.Abs(got-want) > 0.1*want {
+		t.Fatalf("disk perimeter %v, want ≈ %v", got, want)
+	}
+}

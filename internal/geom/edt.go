@@ -1,0 +1,139 @@
+package geom
+
+import (
+	"math"
+
+	"cfaopc/internal/grid"
+)
+
+// edtInf is the "unreachable" squared distance. It is large enough to lose
+// against any real squared distance on practical grids yet finite, which
+// keeps the lower-envelope arithmetic well defined (the standard
+// Felzenszwalb–Huttenlocher implementation trick).
+const edtInf = 1e20
+
+// DistanceTransform returns the exact Euclidean distance from every pixel
+// to the nearest foreground pixel of m, using the Felzenszwalb–Huttenlocher
+// lower-envelope-of-parabolas algorithm (O(n) per row/column). Foreground
+// pixels map to 0; if m has no foreground at all, every pixel maps to +Inf.
+func DistanceTransform(m *grid.Real) *grid.Real {
+	w, h := m.W, m.H
+	d := grid.NewReal(w, h)
+	for i, v := range m.Data {
+		if v > 0.5 {
+			d.Data[i] = 0
+		} else {
+			d.Data[i] = edtInf
+		}
+	}
+	f := make([]float64, maxInt(w, h))
+	out := make([]float64, maxInt(w, h))
+	for x := 0; x < w; x++ {
+		for y := 0; y < h; y++ {
+			f[y] = d.Data[y*w+x]
+		}
+		edt1d(f[:h], out[:h])
+		for y := 0; y < h; y++ {
+			d.Data[y*w+x] = out[y]
+		}
+	}
+	for y := 0; y < h; y++ {
+		copy(f[:w], d.Data[y*w:(y+1)*w])
+		edt1d(f[:w], out[:w])
+		copy(d.Data[y*w:(y+1)*w], out[:w])
+	}
+	for i, v := range d.Data {
+		if v >= edtInf/2 {
+			d.Data[i] = math.Inf(1)
+		} else {
+			d.Data[i] = math.Sqrt(v)
+		}
+	}
+	return d
+}
+
+// SignedDistance returns the signed Euclidean distance field of a binary
+// mask: negative inside the foreground, positive outside, with a half-pixel
+// offset so the zero level set falls between foreground and background
+// pixel centers (the level-set representation used by the DevelSet-style
+// engine).
+func SignedDistance(m *grid.Real) *grid.Real {
+	inv := grid.NewReal(m.W, m.H)
+	for i, v := range m.Data {
+		if v <= 0.5 {
+			inv.Data[i] = 1
+		}
+	}
+	dOut := DistanceTransform(m)  // distance to foreground
+	dIn := DistanceTransform(inv) // distance to background
+	sd := grid.NewReal(m.W, m.H)
+	for i := range sd.Data {
+		if m.Data[i] > 0.5 {
+			v := dIn.Data[i]
+			if math.IsInf(v, 1) {
+				v = float64(m.W + m.H) // fully-foreground mask: deep inside
+			}
+			sd.Data[i] = -v + 0.5
+		} else {
+			v := dOut.Data[i]
+			if math.IsInf(v, 1) {
+				v = float64(m.W + m.H) // fully-background mask: far outside
+			}
+			sd.Data[i] = v - 0.5
+		}
+	}
+	return sd
+}
+
+// edt1d computes the 1D squared-distance transform of sampled function f
+// into out (Felzenszwalb & Huttenlocher, "Distance Transforms of Sampled
+// Functions").
+func edt1d(f, out []float64) {
+	n := len(f)
+	v := make([]int, n)       // parabola locations
+	z := make([]float64, n+1) // envelope boundaries
+	k := 0
+	v[0] = 0
+	z[0] = math.Inf(-1)
+	z[1] = math.Inf(1)
+	for q := 1; q < n; q++ {
+		var s float64
+		for {
+			p := v[k]
+			s = ((f[q] + float64(q*q)) - (f[p] + float64(p*p))) / (2 * float64(q-p))
+			if s > z[k] {
+				break
+			}
+			k--
+			if k < 0 {
+				k = 0
+				v[0] = q
+				z[0] = math.Inf(-1)
+				z[1] = math.Inf(1)
+				s = math.NaN()
+				break
+			}
+		}
+		if !math.IsNaN(s) {
+			k++
+			v[k] = q
+			z[k] = s
+			z[k+1] = math.Inf(1)
+		}
+	}
+	k = 0
+	for q := 0; q < n; q++ {
+		for z[k+1] < float64(q) {
+			k++
+		}
+		dq := float64(q - v[k])
+		out[q] = dq*dq + f[v[k]]
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

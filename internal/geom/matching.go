@@ -1,0 +1,109 @@
+package geom
+
+// MaxBipartiteMatching computes a maximum matching of the bipartite graph
+// with nL left and nR right vertices using the Hopcroft–Karp algorithm in
+// O(E·√V). adj[l] lists the right vertices adjacent to left vertex l. The
+// returned slices map each side to its partner (-1 when unmatched).
+func MaxBipartiteMatching(nL, nR int, adj [][]int) (matchL, matchR []int) {
+	matchL = make([]int, nL)
+	matchR = make([]int, nR)
+	for i := range matchL {
+		matchL[i] = -1
+	}
+	for i := range matchR {
+		matchR[i] = -1
+	}
+	const inf = int(^uint(0) >> 1)
+	dist := make([]int, nL)
+	queue := make([]int, 0, nL)
+
+	bfs := func() bool {
+		queue = queue[:0]
+		for l := 0; l < nL; l++ {
+			if matchL[l] == -1 {
+				dist[l] = 0
+				queue = append(queue, l)
+			} else {
+				dist[l] = inf
+			}
+		}
+		found := false
+		for qi := 0; qi < len(queue); qi++ {
+			l := queue[qi]
+			for _, r := range adj[l] {
+				nl := matchR[r]
+				if nl == -1 {
+					found = true
+				} else if dist[nl] == inf {
+					dist[nl] = dist[l] + 1
+					queue = append(queue, nl)
+				}
+			}
+		}
+		return found
+	}
+
+	var dfs func(l int) bool
+	dfs = func(l int) bool {
+		for _, r := range adj[l] {
+			nl := matchR[r]
+			if nl == -1 || (dist[nl] == dist[l]+1 && dfs(nl)) {
+				matchL[l] = r
+				matchR[r] = l
+				return true
+			}
+		}
+		dist[l] = inf
+		return false
+	}
+
+	for bfs() {
+		for l := 0; l < nL; l++ {
+			if matchL[l] == -1 {
+				dfs(l)
+			}
+		}
+	}
+	return matchL, matchR
+}
+
+// MinVertexCover derives a minimum vertex cover from a maximum matching via
+// König's theorem: run an alternating BFS from the unmatched left vertices
+// (unmatched edges left→right, matched edges right→left); the cover is the
+// unvisited left vertices plus the visited right vertices. The complement
+// of the cover is a maximum independent set.
+func MinVertexCover(nL, nR int, adj [][]int, matchL, matchR []int) (coverL, coverR []bool) {
+	visitedL := make([]bool, nL)
+	visitedR := make([]bool, nR)
+	var stack []int
+	for l := 0; l < nL; l++ {
+		if matchL[l] == -1 {
+			visitedL[l] = true
+			stack = append(stack, l)
+		}
+	}
+	for len(stack) > 0 {
+		l := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, r := range adj[l] {
+			if visitedR[r] {
+				continue
+			}
+			visitedR[r] = true
+			nl := matchR[r]
+			if nl != -1 && !visitedL[nl] {
+				visitedL[nl] = true
+				stack = append(stack, nl)
+			}
+		}
+	}
+	coverL = make([]bool, nL)
+	coverR = make([]bool, nR)
+	for l := 0; l < nL; l++ {
+		coverL[l] = !visitedL[l]
+	}
+	for r := 0; r < nR; r++ {
+		coverR[r] = visitedR[r]
+	}
+	return coverL, coverR
+}

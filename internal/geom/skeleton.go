@@ -1,0 +1,87 @@
+package geom
+
+import "cfaopc/internal/grid"
+
+// Skeleton thins the binary mask to a one-pixel-wide, 8-connected medial
+// skeleton using the Zhang–Suen algorithm. The skeleton is the curve
+// CircleRule samples circle centers from: every skeleton pixel keeps at
+// least one 8-neighbour while the region stays connected (single isolated
+// pixels remain as themselves).
+func Skeleton(m *grid.Real) *grid.Real {
+	s := m.Binarize(0.5)
+	for {
+		n0 := skeletonSubpass(s, 0)
+		n1 := skeletonSubpass(s, 1)
+		if n0+n1 == 0 {
+			return s
+		}
+	}
+}
+
+// skeletonSubpass runs one Zhang–Suen sub-iteration (pass 0 removes
+// south-east boundary pixels, pass 1 north-west) and returns the number of
+// pixels removed.
+func skeletonSubpass(s *grid.Real, pass int) int {
+	w, h := s.W, s.H
+	at := func(x, y int) int {
+		if x < 0 || x >= w || y < 0 || y >= h || s.Data[y*w+x] <= 0.5 {
+			return 0
+		}
+		return 1
+	}
+	var toClear []int
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if at(x, y) == 0 {
+				continue
+			}
+			// Neighbours P2..P9 clockwise from north.
+			p := [8]int{at(x, y-1), at(x+1, y-1), at(x+1, y), at(x+1, y+1),
+				at(x, y+1), at(x-1, y+1), at(x-1, y), at(x-1, y-1)}
+			b := 0
+			for _, v := range p {
+				b += v
+			}
+			if b < 2 || b > 6 {
+				continue
+			}
+			// A(P1): number of 0→1 transitions in the circular sequence.
+			a := 0
+			for i := 0; i < 8; i++ {
+				if p[i] == 0 && p[(i+1)%8] == 1 {
+					a++
+				}
+			}
+			if a != 1 {
+				continue
+			}
+			if pass == 0 {
+				if p[0]*p[2]*p[4] != 0 || p[2]*p[4]*p[6] != 0 {
+					continue
+				}
+			} else {
+				if p[0]*p[2]*p[6] != 0 || p[0]*p[4]*p[6] != 0 {
+					continue
+				}
+			}
+			toClear = append(toClear, y*w+x)
+		}
+	}
+	for _, i := range toClear {
+		s.Data[i] = 0
+	}
+	return len(toClear)
+}
+
+// SkeletonPoints returns the foreground pixels of a skeleton mask.
+func SkeletonPoints(s *grid.Real) []Pt {
+	var pts []Pt
+	for y := 0; y < s.H; y++ {
+		for x := 0; x < s.W; x++ {
+			if s.Data[y*s.W+x] > 0.5 {
+				pts = append(pts, Pt{x, y})
+			}
+		}
+	}
+	return pts
+}

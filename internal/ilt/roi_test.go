@@ -1,0 +1,79 @@
+package ilt
+
+import (
+	"testing"
+
+	"cfaopc/internal/geom"
+	"cfaopc/internal/grid"
+)
+
+func TestROIMaskGeometry(t *testing.T) {
+	target := grid.NewReal(32, 32)
+	target.Set(16, 16, 1)
+	roi := roiMask(target, 5)
+	// Inside the radius: gate open.
+	if roi.At(16, 16) != 1 || roi.At(20, 16) != 1 {
+		t.Fatal("ROI closed near the target")
+	}
+	// Outside: gate shut.
+	if roi.At(26, 16) != 0 || roi.At(0, 0) != 0 {
+		t.Fatal("ROI open far from the target")
+	}
+}
+
+func TestMosaicMaskConfinedToROI(t *testing.T) {
+	sim, target := testSetup(t)
+	cfg := quickCfg()
+	cfg.ROIMarginNM = 80 // 10 px at 8 nm/px
+	mask := (&Mosaic{Cfg: cfg}).Optimize(sim, target)
+	d := geom.DistanceTransform(target)
+	for i, v := range mask.Data {
+		if v > 0.5 && d.Data[i]*sim.DX > 80+1 {
+			t.Fatalf("mask pixel %v nm outside the ROI", d.Data[i]*sim.DX)
+		}
+	}
+}
+
+func TestMosaicROIDisabled(t *testing.T) {
+	// Negative margin disables gating; the engine must still run and can
+	// in principle place mask anywhere.
+	sim, target := testSetup(t)
+	cfg := quickCfg()
+	cfg.ROIMarginNM = -1
+	cfg.Iterations = 5
+	mask := (&Mosaic{Cfg: cfg}).Optimize(sim, target)
+	if mask.Sum() == 0 {
+		t.Fatal("empty mask with ROI disabled")
+	}
+}
+
+func TestROIDefaultApplied(t *testing.T) {
+	// Zero margin means the 120 nm default, not "no ROI".
+	sim, target := testSetup(t)
+	cfg := quickCfg()
+	cfg.ROIMarginNM = 0
+	mask := (&Mosaic{Cfg: cfg}).Optimize(sim, target)
+	d := geom.DistanceTransform(target)
+	for i, v := range mask.Data {
+		if v > 0.5 && d.Data[i]*sim.DX > 120+1 {
+			t.Fatalf("mask pixel %v nm outside the default ROI", d.Data[i]*sim.DX)
+		}
+	}
+}
+
+func TestMosaicLBFGSOptimizer(t *testing.T) {
+	sim, target := testSetup(t)
+	cfg := quickCfg()
+	cfg.Optimizer = "lbfgs"
+	cfg.Iterations = 10
+	mask := (&Mosaic{Cfg: cfg}).Optimize(sim, target)
+	if mask.Sum() == 0 {
+		t.Fatal("L-BFGS Mosaic produced an empty mask")
+	}
+	// It must beat the empty mask decisively on print fidelity.
+	base := printL2(sim, target, target)
+	got := printL2(sim, mask, target)
+	if got > 2*base {
+		t.Fatalf("L-BFGS mask L2 %v vs identity-mask %v", got, base)
+	}
+}

@@ -1,0 +1,34 @@
+package layout
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParse ensures the layout parser never panics and that anything it
+// accepts survives a write/parse round trip.
+func FuzzParse(f *testing.F) {
+	f.Add("NAME x\nTILE 100\nRECT 1 1 5 5\n")
+	f.Add("# comment\n\nTILE 2048\n")
+	f.Add("RECT 0 0 0 0\n")
+	f.Add("TILE -5\nRECT 1 1 2 2\n")
+	f.Add("NAME \nRECT a b c d\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		l, err := Parse(strings.NewReader(input))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		var buf bytes.Buffer
+		if err := l.Write(&buf); err != nil {
+			t.Fatalf("accepted layout failed to write: %v", err)
+		}
+		back, err := Parse(&buf)
+		if err != nil {
+			t.Fatalf("round trip of accepted layout failed: %v", err)
+		}
+		if back.Area() != l.Area() {
+			t.Fatalf("area changed in round trip: %d → %d", l.Area(), back.Area())
+		}
+	})
+}

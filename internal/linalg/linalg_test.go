@@ -1,0 +1,244 @@
+package linalg
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randSymmetric(n int, seed int64) *Dense {
+	rng := rand.New(rand.NewSource(seed))
+	m := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := rng.Float64()*2 - 1
+			m.Set(i, j, v)
+			m.Set(j, i, v)
+		}
+	}
+	return m
+}
+
+func TestSymEigDiagonal(t *testing.T) {
+	m := NewDense(3, 3)
+	m.Set(0, 0, 1)
+	m.Set(1, 1, 5)
+	m.Set(2, 2, 3)
+	vals, vecs := SymEig(m)
+	want := []float64{5, 3, 1}
+	for i := range want {
+		if math.Abs(vals[i]-want[i]) > 1e-12 {
+			t.Fatalf("vals = %v, want %v", vals, want)
+		}
+	}
+	// First eigenvector should be ±e1 (the λ=5 axis).
+	if math.Abs(math.Abs(vecs.At(1, 0))-1) > 1e-10 {
+		t.Fatalf("top eigenvector = column %v", []float64{vecs.At(0, 0), vecs.At(1, 0), vecs.At(2, 0)})
+	}
+}
+
+func TestSymEig2x2Known(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 3 and 1.
+	m := NewDense(2, 2)
+	m.Set(0, 0, 2)
+	m.Set(0, 1, 1)
+	m.Set(1, 0, 1)
+	m.Set(1, 1, 2)
+	vals, _ := SymEig(m)
+	if math.Abs(vals[0]-3) > 1e-12 || math.Abs(vals[1]-1) > 1e-12 {
+		t.Fatalf("vals = %v, want [3 1]", vals)
+	}
+}
+
+func eigResidual(a *Dense, vals []float64, vecs *Dense) float64 {
+	n := a.Rows
+	worst := 0.0
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			av := 0.0
+			for j := 0; j < n; j++ {
+				av += a.At(i, j) * vecs.At(j, k)
+			}
+			r := math.Abs(av - vals[k]*vecs.At(i, k))
+			if r > worst {
+				worst = r
+			}
+		}
+	}
+	return worst
+}
+
+func TestSymEigRandomResidual(t *testing.T) {
+	for _, n := range []int{2, 5, 10, 25} {
+		a := randSymmetric(n, int64(n))
+		vals, vecs := SymEig(a)
+		if r := eigResidual(a, vals, vecs); r > 1e-9 {
+			t.Errorf("n=%d: residual %g", n, r)
+		}
+		// Eigenvalues sorted descending.
+		for i := 1; i < n; i++ {
+			if vals[i] > vals[i-1]+1e-12 {
+				t.Errorf("n=%d: eigenvalues not sorted: %v", n, vals)
+			}
+		}
+		// Columns orthonormal.
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				dot := 0.0
+				for r := 0; r < n; r++ {
+					dot += vecs.At(r, i) * vecs.At(r, j)
+				}
+				want := 0.0
+				if i == j {
+					want = 1
+				}
+				if math.Abs(dot-want) > 1e-9 {
+					t.Errorf("n=%d: vecs not orthonormal at (%d,%d): %v", n, i, j, dot)
+				}
+			}
+		}
+	}
+}
+
+// Property: trace equals sum of eigenvalues.
+func TestSymEigTrace(t *testing.T) {
+	f := func(seed int64) bool {
+		a := randSymmetric(8, seed)
+		vals, _ := SymEig(a)
+		tr, sum := 0.0, 0.0
+		for i := 0; i < 8; i++ {
+			tr += a.At(i, i)
+			sum += vals[i]
+		}
+		return math.Abs(tr-sum) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSymEigPanicsNonSquare(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for non-square matrix")
+		}
+	}()
+	SymEig(NewDense(2, 3))
+}
+
+func randHermitian(n int, seed int64) []complex128 {
+	rng := rand.New(rand.NewSource(seed))
+	h := make([]complex128, n*n)
+	for i := 0; i < n; i++ {
+		h[i*n+i] = complex(rng.Float64()*2-1, 0)
+		for j := i + 1; j < n; j++ {
+			v := complex(rng.Float64()*2-1, rng.Float64()*2-1)
+			h[i*n+j] = v
+			h[j*n+i] = cmplx.Conj(v)
+		}
+	}
+	return h
+}
+
+func hermResidual(h []complex128, n int, vals []float64, vecs []complex128) float64 {
+	worst := 0.0
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			var av complex128
+			for j := 0; j < n; j++ {
+				av += h[i*n+j] * vecs[j*n+k]
+			}
+			if r := cmplx.Abs(av - complex(vals[k], 0)*vecs[i*n+k]); r > worst {
+				worst = r
+			}
+		}
+	}
+	return worst
+}
+
+func TestHermEigResidualAndOrthogonality(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8, 16} {
+		h := randHermitian(n, int64(n)+100)
+		vals, vecs := HermEig(h, n)
+		if r := hermResidual(h, n, vals, vecs); r > 1e-8 {
+			t.Errorf("n=%d: residual %g", n, r)
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				var dot complex128
+				for r := 0; r < n; r++ {
+					dot += cmplx.Conj(vecs[r*n+i]) * vecs[r*n+j]
+				}
+				want := complex(0, 0)
+				if i == j {
+					want = 1
+				}
+				if cmplx.Abs(dot-want) > 1e-8 {
+					t.Errorf("n=%d: eigenvectors not orthonormal at (%d,%d): %v", n, i, j, dot)
+				}
+			}
+		}
+	}
+}
+
+func TestHermEigDegenerate(t *testing.T) {
+	// Identity has a fully degenerate spectrum; the extraction must still
+	// return n orthonormal eigenvectors with eigenvalue 1.
+	n := 5
+	h := make([]complex128, n*n)
+	for i := 0; i < n; i++ {
+		h[i*n+i] = 1
+	}
+	vals, vecs := HermEig(h, n)
+	for i, v := range vals {
+		if math.Abs(v-1) > 1e-10 {
+			t.Fatalf("vals[%d] = %v, want 1", i, v)
+		}
+	}
+	if r := hermResidual(h, n, vals, vecs); r > 1e-9 {
+		t.Fatalf("residual %g", r)
+	}
+}
+
+func TestHermEigRankOne(t *testing.T) {
+	// h = u·u† has one eigenvalue ‖u‖² and the rest zero.
+	n := 4
+	u := []complex128{1 + 1i, 2, 0, -1i}
+	normSq := 0.0
+	h := make([]complex128, n*n)
+	for i := 0; i < n; i++ {
+		normSq += real(u[i])*real(u[i]) + imag(u[i])*imag(u[i])
+		for j := 0; j < n; j++ {
+			h[i*n+j] = u[i] * cmplx.Conj(u[j])
+		}
+	}
+	vals, _ := HermEig(h, n)
+	if math.Abs(vals[0]-normSq) > 1e-9 {
+		t.Fatalf("top eigenvalue %v, want %v", vals[0], normSq)
+	}
+	for _, v := range vals[1:] {
+		if math.Abs(v) > 1e-9 {
+			t.Fatalf("trailing eigenvalue %v, want 0", v)
+		}
+	}
+}
+
+// Property: Hermitian trace equals eigenvalue sum.
+func TestHermEigTrace(t *testing.T) {
+	f := func(seed int64) bool {
+		n := 6
+		h := randHermitian(n, seed)
+		vals, _ := HermEig(h, n)
+		tr, sum := 0.0, 0.0
+		for i := 0; i < n; i++ {
+			tr += real(h[i*n+i])
+			sum += vals[i]
+		}
+		return math.Abs(tr-sum) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

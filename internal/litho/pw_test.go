@@ -1,0 +1,125 @@
+package litho
+
+import (
+	"testing"
+
+	"cfaopc/internal/grid"
+	"cfaopc/internal/optics"
+)
+
+func TestMeasureCD(t *testing.T) {
+	z := grid.NewReal(16, 4)
+	for x := 3; x < 9; x++ {
+		z.Set(x, 2, 1)
+	}
+	z.Set(11, 2, 1) // a detached 1-px blip
+	g := Gauge{X1: 0, X2: 15, Y: 2}
+	if cd := MeasureCD(z, g); cd != 6 {
+		t.Fatalf("CD = %v, want 6 (longest run)", cd)
+	}
+	if cd := MeasureCD(z, Gauge{X1: 0, X2: 15, Y: 0}); cd != 0 {
+		t.Fatalf("empty row CD = %v", cd)
+	}
+	if cd := MeasureCD(z, Gauge{X1: 0, X2: 15, Y: 99}); cd != 0 {
+		t.Fatalf("out-of-range gauge CD = %v", cd)
+	}
+}
+
+func TestProcessWindowBasics(t *testing.T) {
+	cfg := optics.Default()
+	cfg.TileNM = 256
+	cfg.NumKernels = 6
+	const n = 32
+	mask := grid.NewReal(n, n)
+	for y := 6; y < 26; y++ {
+		for x := 12; x < 20; x++ { // 64 nm bar
+			mask.Set(x, y, 1)
+		}
+	}
+	pw := PWConfig{
+		DefocusNM: []float64{0, 20, 40, 60, 80},
+		Doses:     []float64{0.94, 0.97, 1.0, 1.03, 1.06},
+		Gauge:     Gauge{X1: 0, X2: n - 1, Y: 16},
+	}
+	pts, err := ProcessWindow(cfg, n, mask, pw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 25 {
+		t.Fatalf("points = %d, want 25", len(pts))
+	}
+	// The nominal point must be in spec by construction.
+	foundNominal := false
+	for _, p := range pts {
+		if p.DefocusNM == 0 && p.Dose == 1.0 {
+			foundNominal = true
+			if !p.InSpec {
+				t.Fatal("nominal condition out of spec")
+			}
+			if p.CDnm <= 0 {
+				t.Fatal("nominal CD zero")
+			}
+		}
+	}
+	if !foundNominal {
+		t.Fatal("nominal point missing")
+	}
+	// CD must not grow with defocus at fixed dose (contrast loss shrinks
+	// the printed line for a bright-field bar) — allow equality.
+	cdAt := func(z float64) float64 {
+		for _, p := range pts {
+			if p.DefocusNM == z && p.Dose == 1.0 {
+				return p.CDnm
+			}
+		}
+		t.Fatalf("missing point at defocus %v", z)
+		return 0
+	}
+	if cdAt(80) > cdAt(0)+1e-9 {
+		t.Fatalf("CD grew with defocus: %v → %v", cdAt(0), cdAt(80))
+	}
+}
+
+func TestProcessWindowErrors(t *testing.T) {
+	cfg := optics.Default()
+	cfg.TileNM = 256
+	cfg.NumKernels = 4
+	mask := grid.NewReal(32, 32) // empty: gauge feature never prints
+	_, err := ProcessWindow(cfg, 32, mask, PWConfig{
+		DefocusNM: []float64{0},
+		Doses:     []float64{1},
+		Gauge:     Gauge{X1: 0, X2: 31, Y: 16},
+	})
+	if err == nil {
+		t.Fatal("empty mask accepted")
+	}
+	if _, err := ProcessWindow(cfg, 32, mask, PWConfig{}); err == nil {
+		t.Fatal("empty sweep accepted")
+	}
+}
+
+func TestDepthOfFocus(t *testing.T) {
+	mk := func(z float64, inSpec bool) PWPoint {
+		return PWPoint{DefocusNM: z, Dose: 1, InSpec: inSpec, CDnm: 50}
+	}
+	// In spec at 0..40, out at 60, in again at 80: DOF = 40 (longest run).
+	pts := []PWPoint{mk(0, true), mk(20, true), mk(40, true), mk(60, false), mk(80, true)}
+	if dof := DepthOfFocus(pts, 1.0); dof != 40 {
+		t.Fatalf("DOF = %v, want 40", dof)
+	}
+	// Latitude requirement: at z=20 only half the doses pass.
+	pts = []PWPoint{
+		mk(0, true), mk(0, true),
+		mk(20, true), mk(20, false),
+		mk(40, true), mk(40, true),
+	}
+	if dof := DepthOfFocus(pts, 1.0); dof != 0 {
+		t.Fatalf("strict-latitude DOF = %v, want 0", dof)
+	}
+	if dof := DepthOfFocus(pts, 0.5); dof != 40 {
+		t.Fatalf("half-latitude DOF = %v, want 40", dof)
+	}
+	if dof := DepthOfFocus(nil, 0.5); dof != 0 {
+		t.Fatalf("empty DOF = %v", dof)
+	}
+}

@@ -1,0 +1,84 @@
+package litho
+
+import (
+	"cfaopc/internal/grid"
+)
+
+// VTRModel is a variable-threshold resist: instead of the constant
+// threshold of Equation (2), the switching threshold at each point depends
+// on the local peak intensity — the classical VT/VTR calibration family
+// used when a constant threshold mispredicts dense-vs-isolated biases.
+//
+//	th(x) = Base + Slope · (Ipeak_local(x) − I(x))
+//
+// where Ipeak_local is the maximum aerial intensity within WindowPx. With
+// Slope = 0 this reduces exactly to the constant-threshold model.
+type VTRModel struct {
+	Base     float64 // constant part of the threshold (use litho.Threshold)
+	Slope    float64 // sensitivity to the local contrast (typ. 0.02–0.1)
+	WindowPx int     // half-width of the local peak window (typ. 2–4)
+}
+
+// DefaultVTR returns a mildly contrast-sensitive model.
+func DefaultVTR() VTRModel {
+	return VTRModel{Base: Threshold, Slope: 0.05, WindowPx: 3}
+}
+
+// Apply maps an aerial image to a binary printed image under the model.
+func (m VTRModel) Apply(intensity *grid.Real, dose float64) *grid.Real {
+	w, h := intensity.W, intensity.H
+	d2 := dose * dose
+	peak := localMax(intensity, m.WindowPx)
+	z := grid.NewReal(w, h)
+	for i, v := range intensity.Data {
+		iv := d2 * v
+		th := m.Base + m.Slope*(d2*peak.Data[i]-iv)
+		if iv > th {
+			z.Data[i] = 1
+		}
+	}
+	return z
+}
+
+// localMax computes a separable moving-maximum filter with half-width r
+// (the van Herk/Gil–Werman two-pass trick is unnecessary at these sizes;
+// a direct separable sweep is O(n·r) and r ≤ 4).
+func localMax(g *grid.Real, r int) *grid.Real {
+	if r <= 0 {
+		return g.Clone()
+	}
+	w, h := g.W, g.H
+	tmp := grid.NewReal(w, h)
+	for y := 0; y < h; y++ {
+		row := g.Data[y*w : (y+1)*w]
+		out := tmp.Data[y*w : (y+1)*w]
+		for x := 0; x < w; x++ {
+			best := row[x]
+			for d := -r; d <= r; d++ {
+				if x+d < 0 || x+d >= w {
+					continue
+				}
+				if row[x+d] > best {
+					best = row[x+d]
+				}
+			}
+			out[x] = best
+		}
+	}
+	outG := grid.NewReal(w, h)
+	for x := 0; x < w; x++ {
+		for y := 0; y < h; y++ {
+			best := tmp.Data[y*w+x]
+			for d := -r; d <= r; d++ {
+				if y+d < 0 || y+d >= h {
+					continue
+				}
+				if v := tmp.Data[(y+d)*w+x]; v > best {
+					best = v
+				}
+			}
+			outG.Data[y*w+x] = best
+		}
+	}
+	return outG
+}

@@ -1,0 +1,70 @@
+package litho
+
+import (
+	"testing"
+
+	"cfaopc/internal/grid"
+)
+
+func TestVTRZeroSlopeMatchesConstantThreshold(t *testing.T) {
+	s := testSim(t, 32)
+	m := grid.NewReal(32, 32)
+	for y := 10; y < 22; y++ {
+		for x := 13; x < 19; x++ {
+			m.Set(x, y, 1)
+		}
+	}
+	i := s.Aerial(m, s.Focus, false, nil)
+	vtr := VTRModel{Base: Threshold, Slope: 0, WindowPx: 3}
+	a := vtr.Apply(i, 1.0)
+	b := ResistBinary(i, 1.0)
+	if a.SqDiff(b) != 0 {
+		t.Fatal("zero-slope VTR differs from constant threshold")
+	}
+}
+
+func TestVTRShrinksLowContrastPrints(t *testing.T) {
+	// In low-contrast regions the local peak exceeds the point intensity,
+	// raising the threshold — the printed region can only shrink relative
+	// to the constant-threshold model.
+	s := testSim(t, 32)
+	m := grid.NewReal(32, 32)
+	for y := 8; y < 24; y++ {
+		for x := 12; x < 20; x++ {
+			m.Set(x, y, 1)
+		}
+	}
+	i := s.Aerial(m, s.Defocus, false, nil)
+	vtr := DefaultVTR()
+	zv := vtr.Apply(i, 1.0)
+	zc := ResistBinary(i, 1.0)
+	for idx := range zv.Data {
+		if zv.Data[idx] == 1 && zc.Data[idx] == 0 {
+			t.Fatal("VTR printed where constant threshold did not")
+		}
+	}
+	if zv.Sum() > zc.Sum() {
+		t.Fatal("VTR print larger than constant-threshold print")
+	}
+}
+
+func TestLocalMax(t *testing.T) {
+	g := grid.NewReal(5, 5)
+	g.Set(2, 2, 9)
+	g.Set(0, 0, 4)
+	lm := localMax(g, 1)
+	if lm.At(1, 1) != 9 || lm.At(3, 3) != 9 || lm.At(2, 2) != 9 {
+		t.Fatalf("3×3 neighbourhood max wrong: %v", lm.Data)
+	}
+	if lm.At(4, 4) != 0 {
+		t.Fatalf("far cell saw the peak: %v", lm.At(4, 4))
+	}
+	if lm.At(0, 1) != 4 {
+		t.Fatalf("corner value not propagated: %v", lm.At(0, 1))
+	}
+	// r=0 is the identity.
+	id := localMax(g, 0)
+	if id.SqDiff(g) != 0 {
+		t.Fatal("r=0 not identity")
+	}
+}

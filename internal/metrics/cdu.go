@@ -1,0 +1,104 @@
+package metrics
+
+import (
+	"math"
+
+	"cfaopc/internal/grid"
+	"cfaopc/internal/layout"
+	"cfaopc/internal/litho"
+)
+
+// CDUStats summarizes critical-dimension uniformity over a set of gauges:
+// the per-gauge deviation of the printed CD from the drawn CD.
+type CDUStats struct {
+	Gauges   int     // gauges measured (features tall enough to cut)
+	Failed   int     // gauges where the feature did not print at all
+	MeanBias float64 // mean (printed − drawn) CD in nm
+	Sigma    float64 // standard deviation of printed CD in nm
+	WorstAbs float64 // worst |printed − drawn| in nm
+}
+
+// gauge pairs a measurement cut with its drawn width.
+type cduGauge struct {
+	g     litho.Gauge
+	drawn float64 // nm
+}
+
+// cduGauges builds one horizontal CD gauge through the vertical midline of
+// every layout rectangle at least minHeightNM tall — the standard "one
+// gauge per drawn feature" CDU setup.
+func cduGauges(l *layout.Layout, n int, minHeightNM float64) []cduGauge {
+	dx := float64(l.TileNM) / float64(n)
+	var gauges []cduGauge
+	for _, r := range l.Rects {
+		if float64(r.H) < minHeightNM {
+			continue
+		}
+		midY := int((float64(r.Y) + float64(r.H)/2) / dx)
+		if midY < 0 || midY >= n {
+			continue
+		}
+		// Cut a window somewhat wider than the feature so the run is
+		// bounded, without reaching the neighbouring lane.
+		gauges = append(gauges, cduGauge{
+			g: litho.Gauge{
+				X1: int(float64(r.X)/dx) - 2,
+				X2: int(float64(r.X+r.W)/dx) + 2,
+				Y:  midY,
+			},
+			drawn: float64(r.W),
+		})
+	}
+	return gauges
+}
+
+// AutoGauges exposes the gauge cuts used by CDU (for custom sweeps).
+func AutoGauges(l *layout.Layout, n int, minHeightNM float64) []litho.Gauge {
+	cg := cduGauges(l, n, minHeightNM)
+	out := make([]litho.Gauge, len(cg))
+	for i, c := range cg {
+		out[i] = c.g
+	}
+	return out
+}
+
+// CDU measures critical-dimension uniformity of a printed image against
+// the drawn widths of the layout's gaugeable rectangles.
+func CDU(l *layout.Layout, z *grid.Real, minHeightNM float64) CDUStats {
+	n := z.W
+	dx := float64(l.TileNM) / float64(n)
+	var stats CDUStats
+	var cds, biases []float64
+	for _, cg := range cduGauges(l, n, minHeightNM) {
+		cd := litho.MeasureCD(z, cg.g) * dx
+		stats.Gauges++
+		if cd == 0 {
+			stats.Failed++
+			continue
+		}
+		cds = append(cds, cd)
+		biases = append(biases, cd-cg.drawn)
+		if a := math.Abs(cd - cg.drawn); a > stats.WorstAbs {
+			stats.WorstAbs = a
+		}
+	}
+	if len(cds) == 0 {
+		return stats
+	}
+	for _, b := range biases {
+		stats.MeanBias += b
+	}
+	stats.MeanBias /= float64(len(biases))
+
+	cdMean := 0.0
+	for _, c := range cds {
+		cdMean += c
+	}
+	cdMean /= float64(len(cds))
+	varSum := 0.0
+	for _, c := range cds {
+		varSum += (c - cdMean) * (c - cdMean)
+	}
+	stats.Sigma = math.Sqrt(varSum / float64(len(cds)))
+	return stats
+}

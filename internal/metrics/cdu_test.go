@@ -1,0 +1,95 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"cfaopc/internal/layout"
+)
+
+func cduLayout() *layout.Layout {
+	return &layout.Layout{
+		Name:   "cdu",
+		TileNM: 512,
+		Rects: []layout.Rect{
+			{X: 100, Y: 100, W: 64, H: 300},
+			{X: 300, Y: 100, W: 80, H: 300},
+			{X: 100, Y: 450, W: 200, H: 20}, // too short for a gauge at 40nm
+		},
+	}
+}
+
+func TestAutoGauges(t *testing.T) {
+	l := cduLayout()
+	gauges := AutoGauges(l, 128, 40)
+	if len(gauges) != 2 {
+		t.Fatalf("gauges = %d, want 2 (short rect excluded)", len(gauges))
+	}
+	// Gauge rows are the vertical midlines (y = 250 nm → px 62 at 4 nm/px).
+	if gauges[0].Y != 62 {
+		t.Fatalf("gauge row %d, want 62", gauges[0].Y)
+	}
+}
+
+func TestCDUPerfectPrint(t *testing.T) {
+	l := cduLayout()
+	z := l.Rasterize(128)
+	s := CDU(l, z, 40)
+	if s.Gauges != 2 || s.Failed != 0 {
+		t.Fatalf("stats %+v", s)
+	}
+	// A perfect raster prints the drawn CD exactly (within a pixel).
+	if math.Abs(s.MeanBias) > 4 {
+		t.Fatalf("mean bias %v nm on a perfect print", s.MeanBias)
+	}
+	if s.WorstAbs > 4 {
+		t.Fatalf("worst deviation %v nm on a perfect print", s.WorstAbs)
+	}
+}
+
+func TestCDUUniformBiasShowsInMeanNotSigma(t *testing.T) {
+	l := &layout.Layout{
+		Name:   "b",
+		TileNM: 512,
+		Rects: []layout.Rect{
+			{X: 100, Y: 100, W: 64, H: 300},
+			{X: 300, Y: 100, W: 64, H: 300},
+		},
+	}
+	// Print both bars 8 nm (2 px) wider on each side.
+	wide := &layout.Layout{Name: "w", TileNM: 512, Rects: []layout.Rect{
+		{X: 92, Y: 100, W: 80, H: 300},
+		{X: 292, Y: 100, W: 80, H: 300},
+	}}
+	z := wide.Rasterize(128)
+	s := CDU(l, z, 40)
+	if s.MeanBias < 10 || s.MeanBias > 22 {
+		t.Fatalf("mean bias %v, want ≈ +16 nm", s.MeanBias)
+	}
+	if s.Sigma > 4 {
+		t.Fatalf("sigma %v for identical bars, want ≈ 0", s.Sigma)
+	}
+}
+
+func TestCDUFailedFeature(t *testing.T) {
+	l := cduLayout()
+	// Print only the first bar.
+	partial := &layout.Layout{Name: "p", TileNM: 512, Rects: []layout.Rect{l.Rects[0]}}
+	z := partial.Rasterize(128)
+	s := CDU(l, z, 40)
+	if s.Failed != 1 {
+		t.Fatalf("failed = %d, want 1", s.Failed)
+	}
+}
+
+func TestCDUEmptyPrint(t *testing.T) {
+	l := cduLayout()
+	empty := (&layout.Layout{Name: "e", TileNM: 512}).Rasterize(128)
+	s := CDU(l, empty, 40)
+	if s.Failed != s.Gauges || s.Gauges != 2 {
+		t.Fatalf("stats %+v", s)
+	}
+	if s.MeanBias != 0 || s.Sigma != 0 {
+		t.Fatalf("empty print stats should be zero: %+v", s)
+	}
+}

@@ -1,0 +1,65 @@
+package metrics
+
+import (
+	"testing"
+
+	"cfaopc/internal/geom"
+	"cfaopc/internal/layout"
+)
+
+func TestEPEContourPerfectPrint(t *testing.T) {
+	l, z := perfectPrint(256)
+	ms := EPEContour(l, z, EPESpacingNM, EPEConstraintNM)
+	if len(ms) == 0 {
+		t.Fatal("no measurements")
+	}
+	if v := CountEPEViolations(ms); v != 0 {
+		t.Fatalf("perfect print has %d contour EPE violations", v)
+	}
+	// Errors on a perfect print are sub-pixel.
+	for _, m := range ms {
+		if m.ErrorNM > 4 {
+			t.Fatalf("perfect print edge error %v nm at (%v,%v)", m.ErrorNM, m.XNM, m.YNM)
+		}
+	}
+}
+
+func TestEPEContourEmptyPrint(t *testing.T) {
+	l, _ := perfectPrint(256)
+	empty := l.Rasterize(256).Scale(0)
+	ms := EPEContour(l, empty, EPESpacingNM, EPEConstraintNM)
+	if v := CountEPEViolations(ms); v != len(ms) || v == 0 {
+		t.Fatalf("empty print: %d of %d violations, want all", v, len(ms))
+	}
+}
+
+func TestEPEContourAgreesWithProbeOnDilation(t *testing.T) {
+	// Both measurements must flag a 24 nm dilation and pass an 8 nm one.
+	l, z := perfectPrint(128) // 4 nm/px
+	small := geom.Dilate(z, geom.DiskElement(2))
+	big := geom.Dilate(z, geom.DiskElement(6))
+
+	if v := CountEPEViolations(EPEContour(l, small, EPESpacingNM, EPEConstraintNM)); v != 0 {
+		t.Fatalf("8 nm dilation flagged by contour EPE: %d", v)
+	}
+	if v := CountEPEViolations(EPEContour(l, big, EPESpacingNM, EPEConstraintNM)); v == 0 {
+		t.Fatal("24 nm dilation missed by contour EPE")
+	}
+	probeSmall := EPEViolations(l, small, EPESpacingNM, EPEConstraintNM)
+	probeBig := EPEViolations(l, big, EPESpacingNM, EPEConstraintNM)
+	if probeSmall != 0 || probeBig == 0 {
+		t.Fatalf("probe EPE disagrees: small=%d big=%d", probeSmall, probeBig)
+	}
+}
+
+func TestEPEContourSkipsInternalEdges(t *testing.T) {
+	l := &layout.Layout{Name: "L", TileNM: 512, Rects: []layout.Rect{
+		{X: 128, Y: 128, W: 64, H: 192},
+		{X: 128, Y: 320, W: 192, H: 64},
+	}}
+	z := l.Rasterize(256)
+	ms := EPEContour(l, z, EPESpacingNM, EPEConstraintNM)
+	if v := CountEPEViolations(ms); v != 0 {
+		t.Fatalf("internal edge sampled: %d violations", v)
+	}
+}

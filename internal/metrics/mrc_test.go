@@ -1,0 +1,70 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cfaopc/internal/geom"
+)
+
+func TestCheckCircleSpacing(t *testing.T) {
+	const dx = 4.0 // nm/px
+	shots := []geom.Circle{
+		{X: 10, Y: 10, R: 5},
+		{X: 18, Y: 10, R: 5}, // d=8 < r1+r2=10 → overlapping, fine
+		{X: 40, Y: 10, R: 5}, // gap to #1: 40-18-10 = 12 px = 48 nm ≥ 40 → fine
+		{X: 60, Y: 10, R: 5}, // gap to #2: 60-40-10 = 10 px = 40 nm → fine (boundary)
+		{X: 74, Y: 10, R: 5}, // gap to #3: 74-60-10 = 4 px = 16 nm → violation
+	}
+	v := CheckCircleSpacing(shots, dx, 40)
+	if len(v) != 1 {
+		t.Fatalf("violations = %+v, want exactly 1", v)
+	}
+	if v[0].Shot != 3 {
+		t.Fatalf("flagged shot %d, want 3 (pairs with 4)", v[0].Shot)
+	}
+}
+
+func TestCheckCircleSpacingEmptyAndSingle(t *testing.T) {
+	if v := CheckCircleSpacing(nil, 4, 40); v != nil {
+		t.Fatal("nil shots produced violations")
+	}
+	if v := CheckCircleSpacing([]geom.Circle{{X: 1, Y: 1, R: 2}}, 4, 40); v != nil {
+		t.Fatal("single shot produced violations")
+	}
+}
+
+// Property: the spatial-hash check finds exactly the same violations as
+// the O(n²) brute force.
+func TestCheckCircleSpacingMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 20; trial++ {
+		n := rng.Intn(40) + 2
+		shots := make([]geom.Circle, n)
+		for i := range shots {
+			shots[i] = geom.Circle{
+				X: rng.Float64() * 100,
+				Y: rng.Float64() * 100,
+				R: rng.Float64()*8 + 2,
+			}
+		}
+		const dx, spacing = 2.0, 30.0
+		got := CheckCircleSpacing(shots, dx, spacing)
+		brute := 0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				dxv := shots[i].X - shots[j].X
+				dyv := shots[i].Y - shots[j].Y
+				d := dxv*dxv + dyv*dyv
+				gap := math.Sqrt(d) - shots[i].R - shots[j].R
+				if gap > 0 && gap < spacing/dx {
+					brute++
+				}
+			}
+		}
+		if len(got) != brute {
+			t.Fatalf("trial %d: hash found %d violations, brute %d", trial, len(got), brute)
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package metrics
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cfaopc/internal/geom"
+	"cfaopc/internal/grid"
+	"cfaopc/internal/litho"
+)
+
+// WriterNoise models the e-beam writer's shot-level errors: Gaussian
+// placement jitter and radius (dose-to-size) error, both in nm. The
+// paper's introduction cites exactly this failure mode — "rectangular
+// fractured mask shapes are prone to writing errors due to short-range
+// e-beam blur" — as a motivation for circular shots.
+type WriterNoise struct {
+	PlacementSigmaNM float64 // per-axis center jitter
+	RadiusSigmaNM    float64 // radius error
+}
+
+// RobustnessReport summarizes a Monte-Carlo writer-error experiment.
+type RobustnessReport struct {
+	Trials    int
+	MeanL2    float64 // mean print L2 vs target over trials (nm²)
+	WorstL2   float64
+	BaseL2    float64 // noise-free print L2
+	MeanDrift float64 // mean |trial L2 − base L2| (nm²)
+}
+
+// ShotRobustness perturbs the shot list `trials` times with the writer
+// noise model, re-simulates the print at the nominal corner each time, and
+// reports the L2 distribution against the target. Deterministic for a
+// given seed.
+func ShotRobustness(sim *litho.Simulator, target *grid.Real, shots []geom.Circle,
+	noise WriterNoise, trials int, seed int64) (RobustnessReport, error) {
+	if trials <= 0 {
+		return RobustnessReport{}, fmt.Errorf("metrics: trials must be positive")
+	}
+	if len(shots) == 0 {
+		return RobustnessReport{}, fmt.Errorf("metrics: empty shot list")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	dx := sim.DX
+
+	l2Of := func(ss []geom.Circle) float64 {
+		mask := geom.RasterizeCircles(sim.N, sim.N, ss)
+		z := litho.ResistBinary(sim.Aerial(mask, sim.Focus, false, nil), 1.0)
+		return L2(z, target, dx)
+	}
+
+	rep := RobustnessReport{Trials: trials}
+	rep.BaseL2 = l2Of(shots)
+	perturbed := make([]geom.Circle, len(shots))
+	for tr := 0; tr < trials; tr++ {
+		for i, s := range shots {
+			perturbed[i] = geom.Circle{
+				X: s.X + rng.NormFloat64()*noise.PlacementSigmaNM/dx,
+				Y: s.Y + rng.NormFloat64()*noise.PlacementSigmaNM/dx,
+				R: maxf(0.5, s.R+rng.NormFloat64()*noise.RadiusSigmaNM/dx),
+			}
+		}
+		l2 := l2Of(perturbed)
+		rep.MeanL2 += l2
+		if l2 > rep.WorstL2 {
+			rep.WorstL2 = l2
+		}
+		rep.MeanDrift += absf(l2 - rep.BaseL2)
+	}
+	rep.MeanL2 /= float64(trials)
+	rep.MeanDrift /= float64(trials)
+	return rep, nil
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func absf(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,67 @@
+package metrics
+
+import (
+	"testing"
+
+	"cfaopc/internal/geom"
+	"cfaopc/internal/litho"
+	"cfaopc/internal/optics"
+)
+
+func robustnessSetup(t *testing.T) *litho.Simulator {
+	t.Helper()
+	cfg := optics.Default()
+	cfg.TileNM = 512
+	cfg.NumKernels = 6
+	sim, err := litho.New(cfg, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim
+}
+
+func TestShotRobustness(t *testing.T) {
+	sim := robustnessSetup(t)
+	target := geom.RasterizeCircles(64, 64, []geom.Circle{{X: 32, Y: 32, R: 8}})
+	shots := []geom.Circle{{X: 32, Y: 32, R: 8}}
+
+	rep, err := ShotRobustness(sim, target, shots,
+		WriterNoise{PlacementSigmaNM: 8, RadiusSigmaNM: 4}, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Trials != 10 {
+		t.Fatalf("trials = %d", rep.Trials)
+	}
+	if rep.WorstL2 < rep.BaseL2 {
+		t.Fatalf("worst L2 %v below base %v", rep.WorstL2, rep.BaseL2)
+	}
+	if rep.MeanDrift <= 0 {
+		t.Fatal("noise produced zero drift")
+	}
+
+	// Deterministic per seed.
+	rep2, _ := ShotRobustness(sim, target, shots,
+		WriterNoise{PlacementSigmaNM: 8, RadiusSigmaNM: 4}, 10, 1)
+	if rep2.MeanL2 != rep.MeanL2 {
+		t.Fatal("not deterministic for fixed seed")
+	}
+
+	// More noise → at least as much mean drift.
+	repBig, _ := ShotRobustness(sim, target, shots,
+		WriterNoise{PlacementSigmaNM: 24, RadiusSigmaNM: 12}, 10, 1)
+	if repBig.MeanDrift < rep.MeanDrift {
+		t.Fatalf("tripled noise reduced drift: %v vs %v", repBig.MeanDrift, rep.MeanDrift)
+	}
+}
+
+func TestShotRobustnessErrors(t *testing.T) {
+	sim := robustnessSetup(t)
+	target := geom.RasterizeCircles(64, 64, []geom.Circle{{X: 32, Y: 32, R: 8}})
+	if _, err := ShotRobustness(sim, target, nil, WriterNoise{}, 5, 1); err == nil {
+		t.Error("empty shots accepted")
+	}
+	if _, err := ShotRobustness(sim, target, []geom.Circle{{X: 1, Y: 1, R: 1}}, WriterNoise{}, 0, 1); err == nil {
+		t.Error("zero trials accepted")
+	}
+}

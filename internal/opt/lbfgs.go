@@ -1,0 +1,177 @@
+package opt
+
+import "math"
+
+// LBFGS is a limited-memory BFGS optimizer with a backtracking Armijo line
+// search — the quasi-Newton alternative to Adam that classic ILT papers
+// (MOSAIC's steepest-descent lineage) upgrade to when iteration counts
+// matter more than per-step cost. The caller supplies the objective as a
+// function returning loss and gradient.
+type LBFGS struct {
+	// History is the number of (s, y) curvature pairs retained (default 8).
+	History int
+	// InitialStep scales the very first step before curvature information
+	// exists (default 1e-2).
+	InitialStep float64
+	// C1 is the Armijo sufficient-decrease constant (default 1e-4).
+	C1 float64
+	// MaxLineSearch bounds the backtracking halvings per step (default 20).
+	MaxLineSearch int
+
+	sList, yList [][]float64
+	rhoList      []float64
+	prevX        []float64
+	prevG        []float64
+}
+
+// NewLBFGS creates an optimizer with the standard defaults.
+func NewLBFGS() *LBFGS {
+	return &LBFGS{History: 8, InitialStep: 1e-2, C1: 1e-4, MaxLineSearch: 20}
+}
+
+// Step performs one L-BFGS iteration on x in place. eval must return the
+// loss and its gradient at the supplied point; it is called once for the
+// current point and once per line-search trial. Step returns the new loss
+// (or the current one when no progress was possible).
+func (l *LBFGS) Step(x []float64, eval func(x []float64) (float64, []float64)) float64 {
+	n := len(x)
+	f0, g0 := eval(x)
+	g := append([]float64(nil), g0...)
+	for i, v := range g {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			g[i] = 0
+		}
+	}
+
+	// Update curvature history from the previous accepted point.
+	if l.prevX != nil {
+		s := make([]float64, n)
+		y := make([]float64, n)
+		sy := 0.0
+		for i := range x {
+			s[i] = x[i] - l.prevX[i]
+			y[i] = g[i] - l.prevG[i]
+			sy += s[i] * y[i]
+		}
+		if sy > 1e-12 {
+			l.sList = append(l.sList, s)
+			l.yList = append(l.yList, y)
+			l.rhoList = append(l.rhoList, 1/sy)
+			hist := l.History
+			if hist <= 0 {
+				hist = 8
+			}
+			if len(l.sList) > hist {
+				l.sList = l.sList[1:]
+				l.yList = l.yList[1:]
+				l.rhoList = l.rhoList[1:]
+			}
+		}
+	}
+
+	// Two-loop recursion for the search direction d = -H·g.
+	d := make([]float64, n)
+	for i := range d {
+		d[i] = -g[i]
+	}
+	m := len(l.sList)
+	alpha := make([]float64, m)
+	for k := m - 1; k >= 0; k-- {
+		dot := 0.0
+		for i := range d {
+			dot += l.sList[k][i] * d[i]
+		}
+		alpha[k] = -l.rhoList[k] * dot // note d holds -q
+		for i := range d {
+			d[i] += alpha[k] * l.yList[k][i]
+		}
+	}
+	if m > 0 {
+		yy, sy := 0.0, 0.0
+		k := m - 1
+		for i := 0; i < n; i++ {
+			yy += l.yList[k][i] * l.yList[k][i]
+			sy += l.sList[k][i] * l.yList[k][i]
+		}
+		if yy > 1e-300 {
+			scale := sy / yy
+			for i := range d {
+				d[i] *= scale
+			}
+		}
+	}
+	for k := 0; k < m; k++ {
+		dot := 0.0
+		for i := range d {
+			dot += l.yList[k][i] * d[i]
+		}
+		beta := l.rhoList[k] * dot
+		for i := range d {
+			d[i] += (-alpha[k] - beta) * l.sList[k][i]
+		}
+	}
+
+	// Descent check; fall back to steepest descent when curvature noise
+	// flips the direction.
+	dg := 0.0
+	for i := range d {
+		dg += d[i] * g[i]
+	}
+	if dg >= 0 {
+		for i := range d {
+			d[i] = -g[i]
+		}
+		dg = 0
+		for i := range d {
+			dg += d[i] * g[i]
+		}
+		if dg == 0 {
+			return f0 // zero gradient: converged
+		}
+	}
+
+	step := 1.0
+	if m == 0 {
+		// Scale the first step to InitialStep in infinity norm.
+		maxD := 0.0
+		for _, v := range d {
+			if a := math.Abs(v); a > maxD {
+				maxD = a
+			}
+		}
+		is := l.InitialStep
+		if is <= 0 {
+			is = 1e-2
+		}
+		if maxD > 0 {
+			step = is / maxD
+		}
+	}
+
+	c1 := l.C1
+	if c1 <= 0 {
+		c1 = 1e-4
+	}
+	maxLS := l.MaxLineSearch
+	if maxLS <= 0 {
+		maxLS = 20
+	}
+	trial := make([]float64, n)
+	for ls := 0; ls < maxLS; ls++ {
+		for i := range x {
+			trial[i] = x[i] + step*d[i]
+		}
+		fTrial, _ := eval(trial)
+		if fTrial <= f0+c1*step*dg {
+			l.prevX = append(l.prevX[:0], x...)
+			l.prevG = append(l.prevG[:0], g...)
+			copy(x, trial)
+			return fTrial
+		}
+		step /= 2
+	}
+	// Line search failed: stay put but remember the gradient.
+	l.prevX = append(l.prevX[:0], x...)
+	l.prevG = append(l.prevG[:0], g...)
+	return f0
+}

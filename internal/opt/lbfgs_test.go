@@ -1,0 +1,106 @@
+package opt
+
+import (
+	"math"
+	"testing"
+)
+
+func quadratic(target []float64) func(x []float64) (float64, []float64) {
+	return func(x []float64) (float64, []float64) {
+		f := 0.0
+		g := make([]float64, len(x))
+		for i := range x {
+			d := x[i] - target[i]
+			f += d * d
+			g[i] = 2 * d
+		}
+		return f, g
+	}
+}
+
+func TestLBFGSQuadratic(t *testing.T) {
+	target := []float64{3, -2, 0.5, 10}
+	x := make([]float64, 4)
+	l := NewLBFGS()
+	eval := quadratic(target)
+	var f float64
+	for i := 0; i < 60; i++ {
+		f = l.Step(x, eval)
+	}
+	if f > 1e-8 {
+		t.Fatalf("L-BFGS did not minimize quadratic: f=%v x=%v", f, x)
+	}
+}
+
+// Rosenbrock is the canonical ill-conditioned test; L-BFGS should reach
+// the (1,1) minimum where plain gradient descent crawls.
+func TestLBFGSRosenbrock(t *testing.T) {
+	eval := func(x []float64) (float64, []float64) {
+		a, b := x[0], x[1]
+		f := (1-a)*(1-a) + 100*(b-a*a)*(b-a*a)
+		g := []float64{
+			-2*(1-a) - 400*a*(b-a*a),
+			200 * (b - a*a),
+		}
+		return f, g
+	}
+	x := []float64{-1.2, 1}
+	l := NewLBFGS()
+	var f float64
+	for i := 0; i < 300; i++ {
+		f = l.Step(x, eval)
+	}
+	if f > 1e-6 {
+		t.Fatalf("Rosenbrock not minimized: f=%v at %v", f, x)
+	}
+	if math.Abs(x[0]-1) > 1e-3 || math.Abs(x[1]-1) > 1e-3 {
+		t.Fatalf("converged to %v, want (1,1)", x)
+	}
+}
+
+func TestLBFGSMonotoneUnderArmijo(t *testing.T) {
+	// Each accepted step must not increase the loss.
+	eval := quadratic([]float64{5, 5})
+	x := []float64{0, 0}
+	l := NewLBFGS()
+	prev := math.Inf(1)
+	for i := 0; i < 40; i++ {
+		f := l.Step(x, eval)
+		if f > prev+1e-12 {
+			t.Fatalf("loss increased: %v → %v at iter %d", prev, f, i)
+		}
+		prev = f
+	}
+}
+
+func TestLBFGSZeroGradientStaysPut(t *testing.T) {
+	eval := func(x []float64) (float64, []float64) {
+		return 7, make([]float64, len(x))
+	}
+	x := []float64{1, 2}
+	l := NewLBFGS()
+	f := l.Step(x, eval)
+	if f != 7 || x[0] != 1 || x[1] != 2 {
+		t.Fatalf("moved on zero gradient: f=%v x=%v", f, x)
+	}
+}
+
+func TestLBFGSHandlesNaNGradient(t *testing.T) {
+	calls := 0
+	eval := func(x []float64) (float64, []float64) {
+		calls++
+		g := []float64{math.NaN(), 2 * x[1]}
+		return x[1] * x[1], g
+	}
+	x := []float64{1, 3}
+	l := NewLBFGS()
+	for i := 0; i < 30; i++ {
+		l.Step(x, eval)
+	}
+	if math.IsNaN(x[0]) || math.IsNaN(x[1]) {
+		t.Fatalf("NaN leaked into parameters: %v", x)
+	}
+	if math.Abs(x[1]) > 1e-3 {
+		t.Fatalf("finite coordinate not minimized: %v", x)
+	}
+}

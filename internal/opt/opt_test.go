@@ -1,0 +1,120 @@
+package opt
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestClip(t *testing.T) {
+	if Clip(5, 0, 3) != 3 || Clip(-1, 0, 3) != 0 || Clip(2, 0, 3) != 2 {
+		t.Fatal("Clip wrong")
+	}
+}
+
+func TestSTERound(t *testing.T) {
+	if STERound(2.4, 0, 10) != 2 || STERound(2.6, 0, 10) != 3 {
+		t.Fatal("rounding wrong")
+	}
+	if STERound(12.7, 0, 10) != 10 || STERound(-3, 0, 10) != 0 {
+		t.Fatal("clipping wrong")
+	}
+}
+
+func TestSTEGradIndicator(t *testing.T) {
+	if STEGrad(5, 0, 10) != 1 || STEGrad(0, 0, 10) != 1 || STEGrad(10, 0, 10) != 1 {
+		t.Fatal("in-bounds gradient should be 1")
+	}
+	if STEGrad(-0.1, 0, 10) != 0 || STEGrad(10.1, 0, 10) != 0 {
+		t.Fatal("out-of-bounds gradient should be 0")
+	}
+}
+
+// Property: STERound output is always an integer within [lo, hi].
+func TestSTERoundProperty(t *testing.T) {
+	f := func(x float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return true
+		}
+		y := STERound(x, -5, 7)
+		return y >= -5 && y <= 7 && y == math.Round(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdamMinimizesQuadratic(t *testing.T) {
+	// f(p) = Σ (p_i - target_i)².
+	target := []float64{3, -2, 0.5}
+	params := make([]float64, 3)
+	a := NewAdam(3, 0.1)
+	grads := make([]float64, 3)
+	for iter := 0; iter < 500; iter++ {
+		for i := range params {
+			grads[i] = 2 * (params[i] - target[i])
+		}
+		a.Step(params, grads)
+	}
+	for i := range params {
+		if math.Abs(params[i]-target[i]) > 1e-3 {
+			t.Fatalf("Adam did not converge: params[%d]=%v want %v", i, params[i], target[i])
+		}
+	}
+}
+
+func TestSGDMinimizesQuadratic(t *testing.T) {
+	target := []float64{1, -1}
+	params := make([]float64, 2)
+	s := NewSGD(2, 0.05, 0.9)
+	grads := make([]float64, 2)
+	for iter := 0; iter < 400; iter++ {
+		for i := range params {
+			grads[i] = 2 * (params[i] - target[i])
+		}
+		s.Step(params, grads)
+	}
+	for i := range params {
+		if math.Abs(params[i]-target[i]) > 1e-3 {
+			t.Fatalf("SGD did not converge: params[%d]=%v", i, params[i])
+		}
+	}
+}
+
+func TestOptimizersIgnoreNaNGradients(t *testing.T) {
+	params := []float64{1, 1}
+	a := NewAdam(2, 0.1)
+	a.Step(params, []float64{math.NaN(), math.Inf(1)})
+	for i, p := range params {
+		if math.IsNaN(p) || math.IsInf(p, 0) {
+			t.Fatalf("Adam produced non-finite param[%d]=%v", i, p)
+		}
+	}
+	s := NewSGD(2, 0.1, 0.5)
+	s.Step(params, []float64{math.NaN(), math.Inf(-1)})
+	for i, p := range params {
+		if math.IsNaN(p) || math.IsInf(p, 0) {
+			t.Fatalf("SGD produced non-finite param[%d]=%v", i, p)
+		}
+	}
+}
+
+func TestStepPanicsOnSizeMismatch(t *testing.T) {
+	a := NewAdam(3, 0.1)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on mismatched sizes")
+		}
+	}()
+	a.Step(make([]float64, 2), make([]float64, 2))
+}
+
+func TestAdamFirstStepMagnitude(t *testing.T) {
+	// With bias correction, the very first Adam step has magnitude ≈ lr.
+	params := []float64{0}
+	a := NewAdam(1, 0.1)
+	a.Step(params, []float64{123.0})
+	if math.Abs(math.Abs(params[0])-0.1) > 1e-6 {
+		t.Fatalf("first step magnitude %v, want ≈ 0.1", params[0])
+	}
+}

@@ -1,0 +1,101 @@
+// Package sraf implements rule-based sub-resolution assist feature
+// insertion — the classical scattering-bar OPC step that predates ILT and
+// still seeds many production flows. Bars are placed parallel to target
+// edges at a fixed offset; they are too narrow to print themselves but
+// steepen the aerial image of the main feature, widening its process
+// window. The ILT engines accept the result as an initialization
+// (BackgroundBias only nucleates SRAFs where gradients discover them;
+// rule-based bars give isolated edges their assist features immediately).
+package sraf
+
+import (
+	"cfaopc/internal/layout"
+)
+
+// Rules parameterizes scattering-bar placement (all nm).
+type Rules struct {
+	Offset  float64 // edge-to-bar-edge distance (typ. 80–100)
+	Width   float64 // bar width, below the printing threshold (typ. 25–35)
+	MinLen  float64 // bars shorter than this are dropped
+	Spacing float64 // minimum clearance between a bar and any other shape
+	EndPull float64 // bar ends retract this much from the feature corners
+}
+
+// DefaultRules returns placement rules tuned for the 32 nm-node suite
+// under the package's ArF immersion condition.
+func DefaultRules() Rules {
+	return Rules{Offset: 90, Width: 28, MinLen: 120, Spacing: 50, EndPull: 20}
+}
+
+// Insert computes scattering bars for every outer edge of the layout's
+// rectangles. Bars that would violate spacing against any target
+// rectangle or an already-accepted bar are trimmed out entirely (no
+// partial bars — writers prefer fewer, cleaner assists).
+func Insert(l *layout.Layout, r Rules) []layout.Rect {
+	var bars []layout.Rect
+	overlapsAny := func(c layout.Rect, others []layout.Rect, clearance int) bool {
+		for _, o := range others {
+			if c.X < o.X+o.W+clearance && o.X < c.X+c.W+clearance &&
+				c.Y < o.Y+o.H+clearance && o.Y < c.Y+c.H+clearance {
+				return true
+			}
+		}
+		return false
+	}
+	inTile := func(c layout.Rect) bool {
+		return c.X >= 0 && c.Y >= 0 && c.X+c.W <= l.TileNM && c.Y+c.H <= l.TileNM
+	}
+	offset := int(r.Offset)
+	width := int(r.Width)
+	pull := int(r.EndPull)
+	spacing := int(r.Spacing)
+
+	for _, t := range l.Rects {
+		candidates := []layout.Rect{
+			// Left bar.
+			{X: t.X - offset - width, Y: t.Y + pull, W: width, H: t.H - 2*pull},
+			// Right bar.
+			{X: t.X + t.W + offset, Y: t.Y + pull, W: width, H: t.H - 2*pull},
+			// Top bar.
+			{X: t.X + pull, Y: t.Y - offset - width, W: t.W - 2*pull, H: width},
+			// Bottom bar.
+			{X: t.X + pull, Y: t.Y + t.H + offset, W: t.W - 2*pull, H: width},
+		}
+		for _, c := range candidates {
+			if c.W <= 0 || c.H <= 0 {
+				continue
+			}
+			if length := maxInt(c.W, c.H); float64(length) < r.MinLen {
+				continue
+			}
+			if !inTile(c) {
+				continue
+			}
+			if overlapsAny(c, l.Rects, spacing) {
+				continue
+			}
+			if overlapsAny(c, bars, spacing) {
+				continue
+			}
+			bars = append(bars, c)
+		}
+	}
+	return bars
+}
+
+// WithSRAFs returns a copy of the layout with the bars appended — the
+// seeding layout handed to an ILT engine's initialization. The returned
+// layout still validates (bars never overlap targets or each other).
+func WithSRAFs(l *layout.Layout, r Rules) *layout.Layout {
+	out := &layout.Layout{Name: l.Name + "+sraf", TileNM: l.TileNM}
+	out.Rects = append(out.Rects, l.Rects...)
+	out.Rects = append(out.Rects, Insert(l, r)...)
+	return out
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

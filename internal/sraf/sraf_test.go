@@ -1,0 +1,136 @@
+package sraf
+
+import (
+	"testing"
+
+	"cfaopc/internal/layout"
+)
+
+func isolated() *layout.Layout {
+	return &layout.Layout{
+		Name:   "iso",
+		TileNM: 2048,
+		Rects:  []layout.Rect{{X: 900, Y: 700, W: 80, H: 600}},
+	}
+}
+
+func TestInsertIsolatedBarGetsSideBars(t *testing.T) {
+	// A narrow bar only gets the two long-edge assists: its 80 nm end
+	// edges cannot host a MinLen bar.
+	l := isolated()
+	bars := Insert(l, DefaultRules())
+	if len(bars) != 2 {
+		t.Fatalf("isolated narrow bar got %d bars, want 2", len(bars))
+	}
+	// The augmented layout must still validate: no overlaps, in bounds.
+	if err := WithSRAFs(l, DefaultRules()).Validate(); err != nil {
+		t.Fatalf("augmented layout invalid: %v", err)
+	}
+}
+
+func TestInsertIsolatedBlockGetsFourBars(t *testing.T) {
+	// A wide block has four long edges and receives all four assists.
+	l := &layout.Layout{
+		Name:   "block",
+		TileNM: 2048,
+		Rects:  []layout.Rect{{X: 800, Y: 800, W: 400, H: 400}},
+	}
+	bars := Insert(l, DefaultRules())
+	if len(bars) != 4 {
+		t.Fatalf("isolated block got %d bars, want 4", len(bars))
+	}
+	if err := WithSRAFs(l, DefaultRules()).Validate(); err != nil {
+		t.Fatalf("augmented layout invalid: %v", err)
+	}
+}
+
+func TestInsertBarGeometry(t *testing.T) {
+	l := isolated()
+	r := DefaultRules()
+	bars := Insert(l, r)
+	target := l.Rects[0]
+	for _, b := range bars {
+		length := b.W
+		width := b.H
+		if b.H > b.W {
+			length, width = b.H, b.W
+		}
+		if width != int(r.Width) {
+			t.Fatalf("bar width %d, want %d", width, int(r.Width))
+		}
+		if float64(length) < r.MinLen {
+			t.Fatalf("bar length %d below minimum", length)
+		}
+		// Offset check for the vertical bars.
+		if b.H > b.W {
+			gapLeft := target.X - (b.X + b.W)
+			gapRight := b.X - (target.X + target.W)
+			if gapLeft != int(r.Offset) && gapRight != int(r.Offset) {
+				t.Fatalf("vertical bar offset %d/%d, want %d", gapLeft, gapRight, int(r.Offset))
+			}
+		}
+	}
+}
+
+func TestInsertRespectsNeighbours(t *testing.T) {
+	// Two bars 150 nm apart: no SRAF fits between them (needs
+	// offset+width+spacing ≈ 170), so the facing edges get no bars.
+	l := &layout.Layout{
+		Name:   "pair",
+		TileNM: 2048,
+		Rects: []layout.Rect{
+			{X: 800, Y: 700, W: 80, H: 600},
+			{X: 1030, Y: 700, W: 80, H: 600}, // 150 nm gap
+		},
+	}
+	bars := Insert(l, DefaultRules())
+	for _, b := range bars {
+		// No bar may sit in the gap region.
+		if b.X >= 880 && b.X+b.W <= 1030 {
+			t.Fatalf("bar %+v placed in the forbidden gap", b)
+		}
+	}
+	if err := WithSRAFs(l, DefaultRules()).Validate(); err != nil {
+		t.Fatalf("augmented layout invalid: %v", err)
+	}
+}
+
+func TestInsertShortFeatureNoBars(t *testing.T) {
+	// A feature whose edges are shorter than MinLen + pull gets nothing.
+	l := &layout.Layout{
+		Name:   "dot",
+		TileNM: 2048,
+		Rects:  []layout.Rect{{X: 1000, Y: 1000, W: 60, H: 60}},
+	}
+	if bars := Insert(l, DefaultRules()); len(bars) != 0 {
+		t.Fatalf("tiny feature got %d bars", len(bars))
+	}
+}
+
+func TestInsertNearTileEdgeClipped(t *testing.T) {
+	// A feature close to the tile border: the outside bar would leave the
+	// tile and must be dropped.
+	l := &layout.Layout{
+		Name:   "edge",
+		TileNM: 2048,
+		Rects:  []layout.Rect{{X: 30, Y: 700, W: 80, H: 600}},
+	}
+	bars := Insert(l, DefaultRules())
+	for _, b := range bars {
+		if b.X < 0 || b.X+b.W > 2048 || b.Y < 0 || b.Y+b.H > 2048 {
+			t.Fatalf("bar %+v outside the tile", b)
+		}
+	}
+}
+
+func TestSuiteWithSRAFsValidates(t *testing.T) {
+	for _, l := range layout.GenerateSuite() {
+		aug := WithSRAFs(l, DefaultRules())
+		if err := aug.Validate(); err != nil {
+			t.Fatalf("%s: %v", l.Name, err)
+		}
+		if len(aug.Rects) < len(l.Rects) {
+			t.Fatalf("%s: lost rects", l.Name)
+		}
+	}
+}
