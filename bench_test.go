@@ -6,10 +6,19 @@
 package cfaopc_test
 
 import (
+	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
 	"cfaopc/internal/bench"
+	"cfaopc/internal/core"
+	"cfaopc/internal/flow"
+	"cfaopc/internal/geom"
+	"cfaopc/internal/grid"
+	"cfaopc/internal/layout"
+	"cfaopc/internal/litho"
+	"cfaopc/internal/optics"
 )
 
 // benchOptions is the reduced configuration shared by all exhibits.
@@ -175,6 +184,54 @@ func BenchmarkExtensionCompaction(b *testing.B) {
 		if i == 0 {
 			b.Log("\n" + t.Format())
 		}
+	}
+}
+
+// BenchmarkFlowRun measures the tiled full-chip flow at increasing
+// tile-worker counts on a 2×2-core random layout with work in every
+// quadrant. The stitched output is bit-identical at every count, so the
+// sub-benchmarks differ only in wall time; the perf trajectory lands in
+// BENCH_*.json alongside the exhibit benchmarks.
+func BenchmarkFlowRun(b *testing.B) {
+	l := layout.GenerateRandom(7, layout.RandomConfig{Features: 8})
+	cfg := flow.Config{
+		GridN:   256, // 8 nm/px over the 2048 nm chip
+		CorePx:  128, // 2×2 cores
+		HaloPx:  32,
+		Optics:  optics.Default(),
+		KOpt:    4,
+		Workers: 1, // per-kernel parallelism off: isolate tile scaling
+		Optimize: func(sim *litho.Simulator, target *grid.Real) (*grid.Real, []geom.Circle) {
+			coCfg := core.DefaultConfig(sim.DX)
+			coCfg.Iterations = 15
+			res := (&core.CircleOpt{Cfg: coCfg, InitIterations: 6}).Optimize(sim, target)
+			return res.Mask, res.Shots
+		},
+	}
+	// Warm the kernel cache outside the timed loops.
+	if _, err := flow.Run(l, cfg); err != nil {
+		b.Fatal(err)
+	}
+	sweep := []int{1, 2, runtime.GOMAXPROCS(0)}
+	var baseShots []geom.Circle
+	for _, tw := range sweep {
+		b.Run(fmt.Sprintf("tileworkers=%d", tw), func(b *testing.B) {
+			cfg.TileWorkers = tw
+			for i := 0; i < b.N; i++ {
+				res, err := flow.Run(l, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Shots) == 0 {
+					b.Fatal("no shots")
+				}
+				if baseShots == nil {
+					baseShots = res.Shots
+				} else if len(res.Shots) != len(baseShots) {
+					b.Fatalf("shot count drifted: %d vs %d", len(res.Shots), len(baseShots))
+				}
+			}
+		})
 	}
 }
 

@@ -74,4 +74,16 @@ func TestCLIEndToEnd(t *testing.T) {
 	if !strings.Contains(out, "shots") {
 		t.Fatalf("cfaopc GDS run unexpected:\n%s", out)
 	}
+
+	// 5. Tiled full-chip path: halo windows optimized by concurrent tile
+	// workers; the per-window stats and stitched metrics must print.
+	out = run(cfaopc, "-layout", "layouts/case4.glp", "-grid", "128",
+		"-iters", "8", "-tile-core", "64", "-tile-halo", "16",
+		"-tile-workers", "4", "-out", "out3")
+	if !strings.Contains(out, "flow: 4 windows") || !strings.Contains(out, "shots") {
+		t.Fatalf("cfaopc tiled run unexpected:\n%s", out)
+	}
+	if _, err := os.Stat(filepath.Join(work, "out3", "case4_shots.csv")); err != nil {
+		t.Fatalf("tiled shot list missing: %v", err)
+	}
 }

@@ -8,6 +8,11 @@
 //
 // Methods: circleopt (default), or a pixel baseline plus CircleRule
 // fracturing via -method develset|neuralilt|multiilt.
+//
+// With -tile-core > 0 the layout is cut into halo-and-stitch windows and
+// optimized through the tiled full-chip flow; -tile-workers bounds the
+// windows optimized concurrently (output is identical at any count) and
+// -workers the per-kernel litho parallelism inside each simulator.
 package main
 
 import (
@@ -17,9 +22,11 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"cfaopc/internal/bench"
 	"cfaopc/internal/core"
+	"cfaopc/internal/flow"
 	"cfaopc/internal/fracture"
 	"cfaopc/internal/gds"
 	"cfaopc/internal/geom"
@@ -31,21 +38,89 @@ import (
 	"cfaopc/internal/optics"
 )
 
+// optimizerFor adapts a named method to the flow.Optimizer signature, so
+// the same dispatch serves the single-window path and the tiled flow.
+// Resolution-dependent settings derive from the simulator each call sees.
+func optimizerFor(method string, iters int, gamma, sampleNM float64) (flow.Optimizer, error) {
+	ruleFor := func(sim *litho.Simulator) fracture.CircleRuleConfig {
+		cfg := fracture.DefaultCircleRuleConfig(sim.DX)
+		cfg.SampleDist = max(1, int(sampleNM/sim.DX))
+		return cfg
+	}
+	switch strings.ToLower(method) {
+	case "circleopt":
+		return func(sim *litho.Simulator, target *grid.Real) (*grid.Real, []geom.Circle) {
+			coCfg := core.DefaultConfig(sim.DX)
+			coCfg.Iterations = iters
+			coCfg.Gamma = gamma / sim.DX // flag is in the paper's 1 nm/px scale
+			res := (&core.CircleOpt{Cfg: coCfg, RuleCfg: ruleFor(sim)}).Optimize(sim, target)
+			return res.Mask, res.Shots
+		}, nil
+	case "doseopt":
+		return func(sim *litho.Simulator, target *grid.Real) (*grid.Real, []geom.Circle) {
+			coCfg := core.DefaultConfig(sim.DX)
+			coCfg.Iterations = iters
+			coCfg.Gamma = gamma / sim.DX
+			res := (&core.DoseOpt{Cfg: coCfg, RuleCfg: ruleFor(sim)}).Optimize(sim, target)
+			shots := make([]geom.Circle, 0, len(res.Shots))
+			for _, ds := range res.Shots {
+				shots = append(shots, ds.Circle)
+			}
+			return res.Mask, shots
+		}, nil
+	case "greedy":
+		return func(sim *litho.Simulator, target *grid.Real) (*grid.Real, []geom.Circle) {
+			iltCfg := ilt.DefaultConfig()
+			iltCfg.Iterations = iters
+			pixel := (&ilt.MultiLevel{Cfg: iltCfg}).Optimize(sim, target)
+			rule := ruleFor(sim)
+			shots := fracture.GreedyCircles(pixel, fracture.GreedyCircleConfig{
+				RMin: rule.RMin, RMax: rule.RMax, CoverThreshold: rule.CoverThreshold,
+			})
+			return geom.RasterizeCircles(sim.N, sim.N, shots), shots
+		}, nil
+	case "develset", "neuralilt", "multiilt":
+		mk := func() ilt.Engine {
+			iltCfg := ilt.DefaultConfig()
+			iltCfg.Iterations = iters
+			switch strings.ToLower(method) {
+			case "develset":
+				return &ilt.LevelSet{Cfg: iltCfg}
+			case "neuralilt":
+				return &ilt.CycleILT{Cfg: iltCfg}
+			default:
+				return &ilt.MultiLevel{Cfg: iltCfg}
+			}
+		}
+		return func(sim *litho.Simulator, target *grid.Real) (*grid.Real, []geom.Circle) {
+			pixel := mk().Optimize(sim, target)
+			shots := fracture.CircleRule(pixel, ruleFor(sim))
+			return geom.RasterizeCircles(sim.N, sim.N, shots), shots
+		}, nil
+	default:
+		return nil, fmt.Errorf("unknown method %q", method)
+	}
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("cfaopc: ")
 
 	var (
-		caseID     = flag.Int("case", 0, "synthetic benchmark case (1-10)")
-		layoutPath = flag.String("layout", "", "layout file (.glp) to optimize instead of a benchmark case")
-		method     = flag.String("method", "circleopt", "circleopt | doseopt | develset | neuralilt | multiilt | greedy")
-		gridN      = flag.Int("grid", 256, "simulation grid (pixels per tile side)")
-		iters      = flag.Int("iters", 60, "optimization iterations")
-		sampleNM   = flag.Float64("sample-dist", 32, "circle sample distance m in nm")
-		gamma      = flag.Float64("gamma", 3, "CircleOpt sparsity weight")
-		kOpt       = flag.Int("kopt", 5, "kernels used during optimization")
-		compact    = flag.Bool("compact", false, "remove shots that are redundant for the final union (print-identical)")
-		outDir     = flag.String("out", "out", "output directory")
+		caseID      = flag.Int("case", 0, "synthetic benchmark case (1-10)")
+		layoutPath  = flag.String("layout", "", "layout file (.glp) to optimize instead of a benchmark case")
+		method      = flag.String("method", "circleopt", "circleopt | doseopt | develset | neuralilt | multiilt | greedy")
+		gridN       = flag.Int("grid", 256, "simulation grid (pixels per tile side)")
+		iters       = flag.Int("iters", 60, "optimization iterations")
+		sampleNM    = flag.Float64("sample-dist", 32, "circle sample distance m in nm")
+		gamma       = flag.Float64("gamma", 3, "CircleOpt sparsity weight")
+		kOpt        = flag.Int("kopt", 5, "kernels used during optimization")
+		workers     = flag.Int("workers", 0, "per-kernel litho goroutines (0/1 serial, -1 = all cores)")
+		tileCore    = flag.Int("tile-core", 0, "tiled flow: core px owned per window (0 = single window)")
+		tileHalo    = flag.Int("tile-halo", 32, "tiled flow: halo context px around each core")
+		tileWorkers = flag.Int("tile-workers", 1, "tiled flow: concurrent windows (-1 = all cores); output is identical at any count")
+		compact     = flag.Bool("compact", false, "remove shots that are redundant for the final union (print-identical)")
+		outDir      = flag.String("out", "out", "output directory")
 	)
 	flag.Parse()
 
@@ -56,14 +131,15 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		var perr error
 		if strings.HasSuffix(strings.ToLower(*layoutPath), ".gds") {
-			l, err = gds.Read(f, -1)
+			l, perr = gds.Read(f, -1)
 		} else {
-			l, err = layout.Parse(f)
+			l, perr = layout.Parse(f)
 		}
 		f.Close()
-		if err != nil {
-			log.Fatal(err)
+		if perr != nil {
+			log.Fatal(perr)
 		}
 	case *caseID >= 1 && *caseID <= 10:
 		l = layout.GenerateSuite()[*caseID-1]
@@ -71,6 +147,13 @@ func main() {
 		log.Fatal("need -case 1..10 or -layout file.glp")
 	}
 
+	optimize, err := optimizerFor(*method, *iters, *gamma, *sampleNM)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Full-grid simulator: optimization target in single-window mode, and
+	// the evaluator for the stitched result in tiled mode.
 	cfg := optics.Default()
 	cfg.TileNM = float64(l.TileNM)
 	sim, err := litho.New(cfg, *gridN)
@@ -78,61 +161,49 @@ func main() {
 		log.Fatal(err)
 	}
 	sim.KOpt = *kOpt
+	sim.Workers = *workers
 	target := l.Rasterize(*gridN)
-
-	ruleCfg := fracture.DefaultCircleRuleConfig(sim.DX)
-	ruleCfg.SampleDist = max(1, int(*sampleNM/sim.DX))
 
 	var mask *grid.Real
 	var shots []geom.Circle
-	switch strings.ToLower(*method) {
-	case "circleopt":
-		coCfg := core.DefaultConfig(sim.DX)
-		coCfg.Iterations = *iters
-		coCfg.Gamma = *gamma / sim.DX // flag is in the paper's 1 nm/px scale
-		res := (&core.CircleOpt{Cfg: coCfg, RuleCfg: ruleCfg}).Optimize(sim, target)
+	if *tileCore > 0 {
+		fCfg := flow.Config{
+			GridN:       *gridN,
+			CorePx:      *tileCore,
+			HaloPx:      *tileHalo,
+			Optics:      optics.Default(),
+			KOpt:        *kOpt,
+			Workers:     *workers,
+			TileWorkers: *tileWorkers,
+			Optimize:    optimize,
+		}
+		res, err := flow.Run(l, fCfg)
+		if err != nil {
+			log.Fatal(err)
+		}
 		mask, shots = res.Mask, res.Shots
-	case "doseopt":
-		coCfg := core.DefaultConfig(sim.DX)
-		coCfg.Iterations = *iters
-		coCfg.Gamma = *gamma / sim.DX
-		res := (&core.DoseOpt{Cfg: coCfg, RuleCfg: ruleCfg}).Optimize(sim, target)
-		mask = res.Mask
-		for _, ds := range res.Shots {
-			shots = append(shots, ds.Circle)
+		occupied := 0
+		for _, ts := range res.TileStats {
+			if ts.Occupied {
+				occupied++
+			}
 		}
-		fmt.Printf("dose-modulated shots (dose range in list):\n")
-	case "greedy":
-		iltCfg := ilt.DefaultConfig()
-		iltCfg.Iterations = *iters
-		pixel := (&ilt.MultiLevel{Cfg: iltCfg}).Optimize(sim, target)
-		shots = fracture.GreedyCircles(pixel, fracture.GreedyCircleConfig{
-			RMin: ruleCfg.RMin, RMax: ruleCfg.RMax, CoverThreshold: ruleCfg.CoverThreshold,
-		})
-		mask = geom.RasterizeCircles(sim.N, sim.N, shots)
-	case "develset", "neuralilt", "multiilt":
-		iltCfg := ilt.DefaultConfig()
-		iltCfg.Iterations = *iters
-		var e ilt.Engine
-		switch strings.ToLower(*method) {
-		case "develset":
-			e = &ilt.LevelSet{Cfg: iltCfg}
-		case "neuralilt":
-			e = &ilt.CycleILT{Cfg: iltCfg}
-		default:
-			e = &ilt.MultiLevel{Cfg: iltCfg}
+		fmt.Printf("flow: %d windows (%d occupied), tile-workers %d\n", res.Tiles, occupied, *tileWorkers)
+		for _, ts := range res.TileStats {
+			if !ts.Occupied {
+				continue
+			}
+			fmt.Printf("  tile %2d core(%3d,%3d): shots %3d  wall %s\n",
+				ts.Index, ts.CX, ts.CY, ts.Shots, ts.Wall.Round(time.Millisecond))
 		}
-		pixel := e.Optimize(sim, target)
-		shots = fracture.CircleRule(pixel, ruleCfg)
-		mask = geom.RasterizeCircles(sim.N, sim.N, shots)
-	default:
-		log.Fatalf("unknown method %q", *method)
+	} else {
+		mask, shots = optimize(sim, target)
 	}
 
 	if *compact {
 		before := len(shots)
-		shots = fracture.CompactShots(sim.N, sim.N, shots)
-		mask = geom.RasterizeCircles(sim.N, sim.N, shots)
+		shots = fracture.CompactShots(*gridN, *gridN, shots)
+		mask = geom.RasterizeCircles(*gridN, *gridN, shots)
 		fmt.Printf("compaction: %d -> %d shots\n", before, len(shots))
 	}
 

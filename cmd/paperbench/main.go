@@ -35,6 +35,7 @@ func main() {
 		initIter = flag.Int("init-iters", 24, "CircleOpt stage-1 MOSAIC iterations")
 		kOpt     = flag.Int("kopt", 5, "kernels used during optimization")
 		workers  = flag.Int("workers", -1, "litho worker goroutines (-1 = all cores, 1 = serial)")
+		tileWkr  = flag.Int("tile-workers", 4, "max tile workers swept by the -flow exhibit")
 		outDir   = flag.String("out", "figures", "output directory for Figure 6 PNGs")
 		jsonDir  = flag.String("json", "", "also write each exhibit as JSON into this directory")
 		t1       = flag.Bool("table1", false, "run Table 1")
@@ -45,10 +46,11 @@ func main() {
 		f7       = flag.Bool("fig7", false, "run Figure 7")
 		abl      = flag.Bool("ablations", false, "run the design-choice ablations (STE, coverage repair, alpha, K_opt)")
 		ext      = flag.Bool("extensions", false, "run the extension experiments (DoseOpt, greedy set cover, compaction)")
+		fl       = flag.Bool("flow", false, "run the tiled full-chip flow exhibit (per-tile stats, worker sweep)")
 	)
 	flag.Parse()
 
-	all := !*t1 && !*t2 && !*t3 && !*f1 && !*f6 && !*f7 && !*abl && !*ext
+	all := !*t1 && !*t2 && !*t3 && !*f1 && !*f6 && !*f7 && !*abl && !*ext && !*fl
 
 	o := bench.DefaultOptions()
 	o.GridN = *gridN
@@ -125,6 +127,21 @@ func main() {
 		fmt.Println(r.ExtensionGreedy().Format())
 		fmt.Println(r.ExtensionCompaction().Format())
 	}
+	if *fl { // tiled flow exhibit only on request: it optimizes a full chip per worker count
+		fo := bench.DefaultFlowOptions(o.GridN)
+		fo.TileWorkers = nil
+		for _, tw := range []int{1, 2, *tileWkr} {
+			if tw >= 1 && !containsInt(fo.TileWorkers, tw) {
+				fo.TileWorkers = append(fo.TileWorkers, tw)
+			}
+		}
+		t, err := r.FlowTable(fo)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(t.Format())
+		emit("flow", t)
+	}
 	if *abl { // ablations only on request: they re-run CircleOpt repeatedly
 		fmt.Println(r.AblationSTE().Format())
 		fmt.Println(r.AblationCoverageRepair().Format())
@@ -145,4 +162,13 @@ func main() {
 		fmt.Println()
 	}
 	fmt.Printf("# total wall time: %s\n", time.Since(start).Round(time.Second))
+}
+
+func containsInt(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
 }

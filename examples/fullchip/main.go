@@ -9,6 +9,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"time"
 
 	"cfaopc/internal/core"
 	"cfaopc/internal/flow"
@@ -39,11 +40,12 @@ func main() {
 	}
 
 	cfg := flow.Config{
-		GridN:  256, // 8 nm/px across the chip
-		CorePx: 128, // four cores
-		HaloPx: 32,  // 256 nm optical context
-		Optics: optics.Default(),
-		KOpt:   4,
+		GridN:       256, // 8 nm/px across the chip
+		CorePx:      128, // four cores
+		HaloPx:      32,  // 256 nm optical context
+		Optics:      optics.Default(),
+		KOpt:        4,
+		TileWorkers: -1, // one window per core; shots identical at any count
 		Optimize: func(sim *litho.Simulator, target *grid.Real) (*grid.Real, []geom.Circle) {
 			coCfg := core.DefaultConfig(sim.DX)
 			coCfg.Iterations = 30
@@ -56,6 +58,10 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("optimized %d windows → %d total shots\n", res.Tiles, len(res.Shots))
+	for _, ts := range res.TileStats {
+		fmt.Printf("  tile %d core(%3d,%3d): occupied=%-5v shots %3d  wall %s\n",
+			ts.Index, ts.CX, ts.CY, ts.Occupied, ts.Shots, ts.Wall.Round(time.Millisecond))
+	}
 
 	// Score the stitched result with a full-chip simulation.
 	oCfg := optics.Default()

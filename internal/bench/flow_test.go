@@ -1,0 +1,48 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// The flow exhibit must sweep every worker count, keep the stitched shot
+// list identical across them, and report a non-empty tile profile.
+func TestFlowTable(t *testing.T) {
+	r, err := NewRunner(Options{GridN: 128, KOpt: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := FlowOptions{
+		CorePx:      64,
+		HaloPx:      16,
+		Iters:       4,
+		InitIters:   3,
+		Seed:        7,
+		Features:    4,
+		TileWorkers: []int{1, 4},
+	}
+	tab, err := r.FlowTable(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(tab.Rows))
+	}
+	for i, row := range tab.Rows {
+		if len(row) != len(tab.Header) {
+			t.Fatalf("row %d has %d cells, want %d", i, len(row), len(tab.Header))
+		}
+		if row[1] != "4" { // 128 grid / 64 core → 2×2 tiles
+			t.Fatalf("row %d tiles = %s, want 4", i, row[1])
+		}
+	}
+	if tab.Rows[0][6] != "baseline" {
+		t.Fatalf("first row identical column = %q", tab.Rows[0][6])
+	}
+	if tab.Rows[1][6] != "yes" {
+		t.Fatalf("tile-workers=4 run not identical to baseline: %q", tab.Rows[1][6])
+	}
+	if !strings.Contains(tab.Format(), "tile-workers") {
+		t.Fatal("formatted table missing header")
+	}
+}

@@ -5,10 +5,22 @@
 // keeping only shots whose centers fall in each window's core region.
 // This is the standard halo-and-stitch deployment of tile-based ILT on
 // full-chip layouts.
+//
+// Windows are independent, so Run distributes them over a bounded pool of
+// tile workers (Config.TileWorkers), each owning a private
+// litho.Simulator. Kernel sets are shared read-only through the optics
+// cache, so per-worker simulator construction is cheap. Per-tile results
+// are collected into a slice indexed by row-major tile order and reduced
+// in that order, so the stitched shot list and mask are bit-identical at
+// any worker count — the same determinism contract litho.Simulator.Workers
+// documents for per-kernel parallelism.
 package flow
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"time"
 
 	"cfaopc/internal/geom"
 	"cfaopc/internal/grid"
@@ -36,15 +48,118 @@ type Config struct {
 	KOpt int
 	// Workers sets the per-window litho parallelism (see litho.Simulator).
 	Workers int
-	// Optimize runs on each window (e.g. a core.CircleOpt wrapper).
+	// TileWorkers bounds the windows optimized concurrently. Zero or one
+	// runs serially; negative uses GOMAXPROCS. Each worker owns a private
+	// simulator and results are reduced in row-major tile order, so the
+	// output is bit-identical at any worker count (assuming Optimize is
+	// deterministic for a given simulator and target).
+	TileWorkers int
+	// Optimize runs on each window (e.g. a core.CircleOpt wrapper). It
+	// must be safe to call concurrently on distinct simulators.
 	Optimize Optimizer
+}
+
+// TileStat records what one window contributed to the stitched result.
+type TileStat struct {
+	Index    int           // row-major window index
+	CX, CY   int           // core origin in full-grid pixels
+	Occupied bool          // window held target geometry and was optimized
+	Shots    int           // core-owned shots kept from this window
+	Wall     time.Duration // wall time spent on this window
 }
 
 // Result is the stitched output.
 type Result struct {
-	Mask  *grid.Real    // full-grid mask re-rasterized from the shots
-	Shots []geom.Circle // full-grid shot list
-	Tiles int           // number of windows optimized
+	Mask      *grid.Real    // full-grid mask re-rasterized from the shots
+	Shots     []geom.Circle // full-grid shot list
+	Tiles     int           // number of windows optimized
+	TileStats []TileStat    // per-window records in row-major order
+}
+
+// tileWorkerCount resolves the effective tile parallelism.
+func tileWorkerCount(w, jobs int) int {
+	if w < 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w < 1 {
+		w = 1
+	}
+	if w > jobs {
+		w = jobs
+	}
+	return w
+}
+
+// extractWindow copies the window×window region at origin (ox, oy) out of
+// the full rasterized layout into a fresh target grid, reporting whether
+// any pixel is occupied. The origin may be negative and the window may
+// extend past the grid at the borders; out-of-grid pixels stay empty.
+func extractWindow(full *grid.Real, ox, oy, window int) (*grid.Real, bool) {
+	target := grid.NewReal(window, window)
+	occupied := false
+	for y := 0; y < window; y++ {
+		fy := oy + y
+		if fy < 0 || fy >= full.H {
+			continue
+		}
+		for x := 0; x < window; x++ {
+			fx := ox + x
+			if fx < 0 || fx >= full.W {
+				continue
+			}
+			v := full.Data[fy*full.W+fx]
+			target.Data[y*window+x] = v
+			if v > 0.5 {
+				occupied = true
+			}
+		}
+	}
+	return target, occupied
+}
+
+// ownedShots translates window-local shots to full-grid coordinates and
+// keeps those whose centers fall in the core [cx, cx+corePx) × [cy,
+// cy+corePx) — the ownership rule that makes seam shots unique.
+func ownedShots(shots []geom.Circle, ox, oy, cx, cy, corePx int) []geom.Circle {
+	var kept []geom.Circle
+	for _, s := range shots {
+		gx := s.X + float64(ox)
+		gy := s.Y + float64(oy)
+		if gx < float64(cx) || gx >= float64(cx+corePx) ||
+			gy < float64(cy) || gy >= float64(cy+corePx) {
+			continue
+		}
+		kept = append(kept, geom.Circle{X: gx, Y: gy, R: s.R})
+	}
+	return kept
+}
+
+// tileJob identifies one window by its row-major index and core origin.
+type tileJob struct {
+	index  int
+	cx, cy int
+}
+
+// tileOut is one window's contribution before the ordered reduce.
+type tileOut struct {
+	shots []geom.Circle
+	stat  TileStat
+}
+
+// runTile extracts, optimizes and filters one window.
+func runTile(sim *litho.Simulator, full *grid.Real, cfg Config, j tileJob, window int) tileOut {
+	start := time.Now()
+	ox := j.cx - cfg.HaloPx
+	oy := j.cy - cfg.HaloPx
+	target, occupied := extractWindow(full, ox, oy, window)
+	out := tileOut{stat: TileStat{Index: j.index, CX: j.cx, CY: j.cy, Occupied: occupied}}
+	if occupied {
+		_, shots := cfg.Optimize(sim, target)
+		out.shots = ownedShots(shots, ox, oy, j.cx, j.cy, cfg.CorePx)
+		out.stat.Shots = len(out.shots)
+	}
+	out.stat.Wall = time.Since(start)
+	return out
 }
 
 // Run tiles the layout and optimizes every window.
@@ -63,59 +178,56 @@ func Run(l *layout.Layout, cfg Config) (*Result, error) {
 	}
 	dx := float64(l.TileNM) / float64(cfg.GridN)
 
-	// One simulator serves every window: same physical window size.
+	// Every window has the same physical size, so every worker simulator
+	// binds the same (cached) kernel sets.
 	oCfg := cfg.Optics
 	oCfg.TileNM = float64(window) * dx
-	sim, err := litho.New(oCfg, window)
-	if err != nil {
-		return nil, err
-	}
-	sim.KOpt = cfg.KOpt
-	sim.Workers = cfg.Workers
 
-	full := l.Rasterize(cfg.GridN)
-	res := &Result{}
+	var jobs []tileJob
 	for cy := 0; cy < cfg.GridN; cy += cfg.CorePx {
 		for cx := 0; cx < cfg.GridN; cx += cfg.CorePx {
-			// Window origin in full-grid coordinates (may go negative at
-			// the borders; out-of-grid pixels are empty).
-			ox := cx - cfg.HaloPx
-			oy := cy - cfg.HaloPx
-			target := grid.NewReal(window, window)
-			occupied := false
-			for y := 0; y < window; y++ {
-				fy := oy + y
-				if fy < 0 || fy >= cfg.GridN {
-					continue
-				}
-				for x := 0; x < window; x++ {
-					fx := ox + x
-					if fx < 0 || fx >= cfg.GridN {
-						continue
-					}
-					v := full.Data[fy*cfg.GridN+fx]
-					target.Data[y*window+x] = v
-					if v > 0.5 {
-						occupied = true
-					}
-				}
-			}
-			res.Tiles++
-			if !occupied {
-				continue // nothing to optimize in this window
-			}
-			_, shots := cfg.Optimize(sim, target)
-			for _, s := range shots {
-				// Keep shots owned by this core.
-				gx := s.X + float64(ox)
-				gy := s.Y + float64(oy)
-				if gx < float64(cx) || gx >= float64(cx+cfg.CorePx) ||
-					gy < float64(cy) || gy >= float64(cy+cfg.CorePx) {
-					continue
-				}
-				res.Shots = append(res.Shots, geom.Circle{X: gx, Y: gy, R: s.R})
-			}
+			jobs = append(jobs, tileJob{index: len(jobs), cx: cx, cy: cy})
 		}
+	}
+	workers := tileWorkerCount(cfg.TileWorkers, len(jobs))
+
+	// Per-worker simulators are built serially up front so a kernel error
+	// surfaces before any goroutine starts.
+	sims := make([]*litho.Simulator, workers)
+	for i := range sims {
+		sim, err := litho.New(oCfg, window)
+		if err != nil {
+			return nil, err
+		}
+		sim.KOpt = cfg.KOpt
+		sim.Workers = cfg.Workers
+		sims[i] = sim
+	}
+
+	full := l.Rasterize(cfg.GridN)
+	outs := make([]tileOut, len(jobs))
+	jobCh := make(chan tileJob)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(sim *litho.Simulator) {
+			defer wg.Done()
+			for j := range jobCh {
+				outs[j.index] = runTile(sim, full, cfg, j, window)
+			}
+		}(sims[w])
+	}
+	for _, j := range jobs {
+		jobCh <- j
+	}
+	close(jobCh)
+	wg.Wait()
+
+	// Ordered reduce: row-major tile order regardless of completion order.
+	res := &Result{Tiles: len(jobs), TileStats: make([]TileStat, 0, len(jobs))}
+	for i := range outs {
+		res.Shots = append(res.Shots, outs[i].shots...)
+		res.TileStats = append(res.TileStats, outs[i].stat)
 	}
 	res.Mask = geom.RasterizeCircles(cfg.GridN, cfg.GridN, res.Shots)
 	return res, nil

@@ -50,6 +50,28 @@ type Simulator struct {
 	// bit-identical regardless of parallelism: per-kernel fields are
 	// computed into private buffers and reduced in kernel order.
 	Workers int
+
+	// scratch recycles N×N complex grids across forward and adjoint
+	// passes. Each pass needs one spectrum plus one buffer per worker
+	// (~16·N² bytes each); without reuse, concurrent tile-level flows
+	// allocate that per kernel per iteration and thrash the GC.
+	scratch sync.Pool
+}
+
+// getComplex returns a recycled (or fresh) N×N complex scratch grid. The
+// contents are stale; callers must overwrite or zero every element.
+func (s *Simulator) getComplex() *grid.Complex {
+	if c, _ := s.scratch.Get().(*grid.Complex); c != nil {
+		return c
+	}
+	return grid.NewComplex(s.N, s.N)
+}
+
+// putComplex returns a scratch grid to the pool.
+func (s *Simulator) putComplex(c *grid.Complex) {
+	if c != nil {
+		s.scratch.Put(c)
+	}
 }
 
 // workerCount resolves the effective parallelism.
@@ -126,7 +148,10 @@ func (s *Simulator) Aerial(mask *grid.Real, set *optics.KernelSet, optimizing bo
 	if mask.W != s.N || mask.H != s.N {
 		panic(fmt.Sprintf("litho: mask %dx%d does not match grid %d", mask.W, mask.H, s.N))
 	}
-	maskF := grid.FromReal(mask)
+	maskF := s.getComplex()
+	for i, v := range mask.Data {
+		maskF.Data[i] = complex(v, 0)
+	}
 	fft.Forward2D(maskF)
 	intensity := grid.NewReal(s.N, s.N)
 	kc := s.kcount(set, optimizing)
@@ -134,7 +159,8 @@ func (s *Simulator) Aerial(mask *grid.Real, set *optics.KernelSet, optimizing bo
 
 	// Per-kernel fields are computed into private buffers (batched to
 	// bound memory) and reduced serially in kernel order so the result is
-	// identical at any worker count.
+	// identical at any worker count. Fields handed back to the caller are
+	// freshly allocated; internal buffers come from the scratch pool.
 	bufs := make([]*grid.Complex, workers)
 	for start := 0; start < kc; start += workers {
 		end := start + workers
@@ -149,7 +175,7 @@ func (s *Simulator) Aerial(mask *grid.Real, set *optics.KernelSet, optimizing bo
 				fields[ki] = dst
 			} else {
 				if bufs[ki-start] == nil {
-					bufs[ki-start] = grid.NewComplex(s.N, s.N)
+					bufs[ki-start] = s.getComplex()
 				}
 				dst = bufs[ki-start]
 			}
@@ -176,6 +202,10 @@ func (s *Simulator) Aerial(mask *grid.Real, set *optics.KernelSet, optimizing bo
 			}
 		}
 	}
+	s.putComplex(maskF)
+	for _, b := range bufs {
+		s.putComplex(b)
+	}
 	return intensity
 }
 
@@ -186,7 +216,10 @@ func (s *Simulator) AerialBackward(dLdI *grid.Real, set *optics.KernelSet, optim
 	n := s.N
 	kc := s.kcount(set, optimizing)
 	workers := s.workerCount(kc)
-	accF := grid.NewComplex(n, n)
+	accF := s.getComplex()
+	for i := range accF.Data {
+		accF.Data[i] = 0
+	}
 
 	// dL/dM_j = 2λ·Re[Aᵀ(g ⊙ conj(c_k))]_j = 2λ·Re[Aᴴ(g ⊙ c_k)]_j for
 	// real g, where Aᴴ = F⁻¹·conj(Ĥ)·F is the adjoint of the kernel
@@ -196,7 +229,7 @@ func (s *Simulator) AerialBackward(dLdI *grid.Real, set *optics.KernelSet, optim
 	// stays serial and ordered for determinism.
 	bufs := make([]*grid.Complex, workers)
 	for i := range bufs {
-		bufs[i] = grid.NewComplex(n, n)
+		bufs[i] = s.getComplex()
 	}
 	for start := 0; start < kc; start += workers {
 		end := start + workers
@@ -248,6 +281,10 @@ func (s *Simulator) AerialBackward(dLdI *grid.Real, set *optics.KernelSet, optim
 	gradM := grid.NewReal(n, n)
 	for i, v := range accF.Data {
 		gradM.Data[i] = 2 * real(v)
+	}
+	s.putComplex(accF)
+	for _, b := range bufs {
+		s.putComplex(b)
 	}
 	return gradM
 }
