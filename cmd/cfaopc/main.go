@@ -13,15 +13,24 @@
 // optimized through the tiled full-chip flow; -tile-workers bounds the
 // windows optimized concurrently (output is identical at any count) and
 // -workers the per-kernel litho parallelism inside each simulator.
+//
+// Tiled runs are fault-tolerant: SIGINT/SIGTERM cancels promptly, a tile
+// that panics, times out (-tile-timeout) or emits invalid output is
+// retried (-tile-retries), degraded to the -fallback method, then to an
+// empty tile; -checkpoint journals completed tiles so an interrupted run
+// resumes where it stopped with bit-identical output.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"cfaopc/internal/bench"
@@ -48,6 +57,14 @@ func optimizerFor(method string, iters int, gamma, sampleNM float64) (flow.Optim
 		return cfg
 	}
 	switch strings.ToLower(method) {
+	case "circlerule":
+		// No optimization at all: rule-based circle fracturing of the
+		// rasterized target. The cheapest engine here, and the default
+		// graceful-degradation fallback for the tiled flow.
+		return func(sim *litho.Simulator, target *grid.Real) (*grid.Real, []geom.Circle) {
+			shots := fracture.CircleRule(target, ruleFor(sim))
+			return geom.RasterizeCircles(sim.N, sim.N, shots), shots
+		}, nil
 	case "circleopt":
 		return func(sim *litho.Simulator, target *grid.Real) (*grid.Real, []geom.Circle) {
 			coCfg := core.DefaultConfig(sim.DX)
@@ -119,10 +136,19 @@ func main() {
 		tileCore    = flag.Int("tile-core", 0, "tiled flow: core px owned per window (0 = single window)")
 		tileHalo    = flag.Int("tile-halo", 32, "tiled flow: halo context px around each core")
 		tileWorkers = flag.Int("tile-workers", 1, "tiled flow: concurrent windows (-1 = all cores); output is identical at any count")
+		tileTimeout = flag.Duration("tile-timeout", 0, "tiled flow: per-tile optimizer attempt deadline (0 = none)")
+		tileRetries = flag.Int("tile-retries", 1, "tiled flow: extra attempts for a failed tile before degrading")
+		fallback    = flag.String("fallback", "circlerule", "tiled flow: degraded-tile method (any -method value, or 'none')")
+		ckptPath    = flag.String("checkpoint", "", "tiled flow: journal completed tiles here and resume from it")
 		compact     = flag.Bool("compact", false, "remove shots that are redundant for the final union (print-identical)")
 		outDir      = flag.String("out", "out", "output directory")
 	)
 	flag.Parse()
+
+	// SIGINT/SIGTERM cancels the run cooperatively: in-flight tiles stop
+	// within one kernel convolution, checkpointed tiles stay on disk.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	var l *layout.Layout
 	switch {
@@ -176,8 +202,24 @@ func main() {
 			Workers:     *workers,
 			TileWorkers: *tileWorkers,
 			Optimize:    optimize,
+			TileRetries: *tileRetries,
+			TileTimeout: *tileTimeout,
+			// Validation bounds follow the MRC radius window (12–76 nm),
+			// scaled to window-grid pixels with a tolerance band so
+			// borderline-legal shots degrade via MRC reporting, not
+			// tile retries.
+			RMinPx:         6 / sim.DX,
+			RMaxPx:         152 / sim.DX,
+			CheckpointPath: *ckptPath,
 		}
-		res, err := flow.Run(l, fCfg)
+		if *fallback != "" && !strings.EqualFold(*fallback, "none") {
+			fb, err := optimizerFor(*fallback, *iters, *gamma, *sampleNM)
+			if err != nil {
+				log.Fatalf("-fallback: %v", err)
+			}
+			fCfg.Fallback = fb
+		}
+		res, err := flow.RunContext(ctx, l, fCfg)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -193,8 +235,22 @@ func main() {
 			if !ts.Occupied {
 				continue
 			}
-			fmt.Printf("  tile %2d core(%3d,%3d): shots %3d  wall %s\n",
-				ts.Index, ts.CX, ts.CY, ts.Shots, ts.Wall.Round(time.Millisecond))
+			note := ""
+			if ts.Resumed {
+				note = "  [resumed]"
+			}
+			if ts.Path != flow.PathPrimary {
+				note += "  [" + ts.Path + "]"
+			}
+			if ts.Attempts > 1 {
+				note += fmt.Sprintf("  [%d attempts: %s]", ts.Attempts, ts.Failure)
+			}
+			fmt.Printf("  tile %2d core(%3d,%3d): shots %3d  wall %s%s\n",
+				ts.Index, ts.CX, ts.CY, ts.Shots, ts.Wall.Round(time.Millisecond), note)
+		}
+		if res.Retried+res.Fallbacks+res.Empty+res.Resumed > 0 {
+			fmt.Printf("faults: %d retried, %d fallback, %d empty, %d resumed from checkpoint\n",
+				res.Retried, res.Fallbacks, res.Empty, res.Resumed)
 		}
 	} else {
 		mask, shots = optimize(sim, target)

@@ -11,15 +11,53 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"os"
 
 	"cfaopc/internal/fracture"
 	"cfaopc/internal/geom"
+	"cfaopc/internal/grid"
 	"cfaopc/internal/layout"
 	"cfaopc/internal/litho"
 	"cfaopc/internal/metrics"
 	"cfaopc/internal/optics"
 )
+
+// validateShots rejects shot lists that would silently score as garbage:
+// non-finite coordinates or radii, non-positive radii, and centers
+// outside the simulation grid. Coordinates are in grid pixels.
+func validateShots(shots []geom.Circle, gridN int) error {
+	if len(shots) == 0 {
+		return fmt.Errorf("shot list is empty")
+	}
+	for i, s := range shots {
+		if math.IsNaN(s.X) || math.IsInf(s.X, 0) ||
+			math.IsNaN(s.Y) || math.IsInf(s.Y, 0) ||
+			math.IsNaN(s.R) || math.IsInf(s.R, 0) {
+			return fmt.Errorf("shot %d is not finite: %+v", i, s)
+		}
+		if s.R <= 0 {
+			return fmt.Errorf("shot %d has non-positive radius %g px", i, s.R)
+		}
+		if s.X < 0 || s.X >= float64(gridN) || s.Y < 0 || s.Y >= float64(gridN) {
+			return fmt.Errorf("shot %d center (%g, %g) px outside the %d px grid (wrong -grid or wrong layout?)",
+				i, s.X, s.Y, gridN)
+		}
+	}
+	return nil
+}
+
+// validateMask is the last line of defense before simulation: the
+// reconstructed mask must match the simulator grid and carry no NaN/Inf.
+func validateMask(mask *grid.Real, gridN int) error {
+	if mask.W != gridN || mask.H != gridN {
+		return fmt.Errorf("mask is %dx%d, want %dx%d", mask.W, mask.H, gridN, gridN)
+	}
+	if mask.HasNaN() {
+		return fmt.Errorf("mask contains NaN/Inf pixels")
+	}
+	return nil
+}
 
 func main() {
 	log.SetFlags(0)
@@ -62,8 +100,14 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	if err := validateShots(shots, sim.N); err != nil {
+		log.Fatalf("invalid shot list %s: %v", *shotsPath, err)
+	}
 
 	mask := geom.RasterizeCircles(sim.N, sim.N, shots)
+	if err := validateMask(mask, sim.N); err != nil {
+		log.Fatalf("invalid mask from %s: %v", *shotsPath, err)
+	}
 	res := sim.Simulate(mask)
 	rep := metrics.Evaluate(l, res.ZNom, res.ZMax, res.ZMin, len(shots))
 	fmt.Printf("%s: L2 %.1f nm2, PVB %.1f nm2, EPE %d, shots %d\n",

@@ -47,10 +47,11 @@ func main() {
 		abl      = flag.Bool("ablations", false, "run the design-choice ablations (STE, coverage repair, alpha, K_opt)")
 		ext      = flag.Bool("extensions", false, "run the extension experiments (DoseOpt, greedy set cover, compaction)")
 		fl       = flag.Bool("flow", false, "run the tiled full-chip flow exhibit (per-tile stats, worker sweep)")
+		ft       = flag.Bool("faults", false, "run the fault-tolerance exhibit (injected faults, degradation, checkpoint resume)")
 	)
 	flag.Parse()
 
-	all := !*t1 && !*t2 && !*t3 && !*f1 && !*f6 && !*f7 && !*abl && !*ext && !*fl
+	all := !*t1 && !*t2 && !*t3 && !*f1 && !*f6 && !*f7 && !*abl && !*ext && !*fl && !*ft
 
 	o := bench.DefaultOptions()
 	o.GridN = *gridN
@@ -141,6 +142,14 @@ func main() {
 		}
 		fmt.Println(t.Format())
 		emit("flow", t)
+	}
+	if *ft { // fault exhibit only on request: it runs the faulted chip three times
+		t, err := r.FaultTable(bench.DefaultFaultOptions(o.GridN))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(t.Format())
+		emit("faults", t)
 	}
 	if *abl { // ablations only on request: they re-run CircleOpt repeatedly
 		fmt.Println(r.AblationSTE().Format())

@@ -1,0 +1,49 @@
+package bench
+
+import "testing"
+
+// The fault exhibit must show the degraded tiles surviving and the
+// interrupted-then-resumed run reproducing the faulted reference byte
+// for byte.
+func TestFaultTable(t *testing.T) {
+	r, err := NewRunner(Options{GridN: 128, KOpt: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := FaultOptions{
+		CorePx:    64,
+		HaloPx:    16,
+		Iters:     4,
+		InitIters: 3,
+		Seed:      7,
+		Features:  4,
+		Retries:   1,
+	}
+	tab, err := r.FaultTable(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(tab.Rows))
+	}
+	for i, row := range tab.Rows {
+		if len(row) != len(tab.Header) {
+			t.Fatalf("row %d has %d cells, want %d", i, len(row), len(tab.Header))
+		}
+	}
+	// Row 0: faulted reference — one retried tile, one fallback tile.
+	if tab.Rows[0][2] != "1" || tab.Rows[0][3] != "1" {
+		t.Fatalf("faulted reference row: %v", tab.Rows[0])
+	}
+	// Row 1: resumed run must replay tiles and match the reference.
+	if tab.Rows[1][5] == "0" {
+		t.Fatalf("resumed run replayed no tiles: %v", tab.Rows[1])
+	}
+	if tab.Rows[1][8] != "yes" {
+		t.Fatalf("resumed run not identical to faulted reference: %v", tab.Rows[1])
+	}
+	// Row 2: clean run — no faults, not expected to match the degraded one.
+	if tab.Rows[2][2] != "0" || tab.Rows[2][3] != "0" || tab.Rows[2][4] != "0" {
+		t.Fatalf("clean row reports faults: %v", tab.Rows[2])
+	}
+}

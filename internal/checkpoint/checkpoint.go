@@ -1,0 +1,259 @@
+// Package checkpoint implements the append-only journal the tiled flow
+// uses for crash recovery: each completed tile is written as one
+// length-prefixed, CRC32-guarded record, so a run that dies at tile
+// 9,999 of 10,000 resumes from the journal instead of restarting from
+// zero.
+//
+// The format is deliberately dumb — built for torn tails, not queries:
+//
+//	magic "CFCKPT1\n"
+//	header record   (opaque fingerprint bytes supplied by the caller)
+//	tile record *   (opaque payload bytes, typically a gob blob)
+//
+// where every record is
+//
+//	uint32 BE payload length | uint32 BE CRC32(IEEE, payload) | payload
+//
+// A process killed mid-append leaves a short or corrupt final record;
+// Open tolerates exactly that failure mode: it replays every valid
+// record, truncates the file back to the last valid boundary, and
+// appends from there. Any earlier corruption (a bad CRC followed by
+// more data) is reported as an error rather than silently skipped —
+// mid-file damage is disk rot, not a torn write.
+//
+// The header fingerprint binds a journal to one (layout, tiling
+// config) pair: Open fails with ErrHeaderMismatch when the stored
+// fingerprint differs from the caller's, so a stale journal can never
+// leak tiles into a different run.
+package checkpoint
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+)
+
+var magic = []byte("CFCKPT1\n")
+
+// ErrHeaderMismatch means the journal on disk was written for a
+// different run (layout or tiling config changed). The caller should
+// delete or relocate the file.
+var ErrHeaderMismatch = errors.New("checkpoint: journal header does not match this run")
+
+// MaxRecordBytes bounds one record's payload; it exists so a corrupt
+// length prefix cannot demand an absurd allocation during replay.
+const MaxRecordBytes = 64 << 20
+
+// Journal is an open checkpoint file positioned for appends. Append is
+// safe for concurrent use; the worker pool writes records as tiles
+// complete, in whatever order they finish.
+type Journal struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// Open opens (or creates) the journal at path. The caller's header
+// fingerprint is written to a fresh journal and verified against an
+// existing one. Valid tile payloads already on disk are returned in
+// append order; a torn final record is discarded and the file is
+// truncated to the last valid boundary so subsequent appends start
+// clean.
+func Open(path string, header []byte) (*Journal, [][]byte, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	if st.Size() == 0 {
+		// Fresh journal: magic + header record.
+		if _, err := f.Write(magic); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		j := &Journal{f: f}
+		if err := j.Append(header); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		return j, nil, nil
+	}
+
+	gotHeader, payloads, validOff, err := replay(f)
+	if errors.Is(err, errNoHeader) {
+		// The creating process died between writing the magic and the
+		// header record; nothing was journaled, so restart the file.
+		if terr := f.Truncate(0); terr != nil {
+			f.Close()
+			return nil, nil, terr
+		}
+		if _, serr := f.Seek(0, io.SeekStart); serr != nil {
+			f.Close()
+			return nil, nil, serr
+		}
+		if _, werr := f.Write(magic); werr != nil {
+			f.Close()
+			return nil, nil, werr
+		}
+		j := &Journal{f: f}
+		if aerr := j.Append(header); aerr != nil {
+			f.Close()
+			return nil, nil, aerr
+		}
+		return j, nil, nil
+	}
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	if !bytesEqual(gotHeader, header) {
+		f.Close()
+		return nil, nil, fmt.Errorf("%w (path %s)", ErrHeaderMismatch, path)
+	}
+	// Drop the torn tail (if any) and position for appends.
+	if err := f.Truncate(validOff); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	if _, err := f.Seek(validOff, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return &Journal{f: f}, payloads, nil
+}
+
+// replay reads magic, the header record and every tile record, stopping
+// at the first torn (truncated) record. It returns the header payload,
+// the tile payloads in file order, and the offset just past the last
+// valid record. A record that is fully present but fails its CRC while
+// more records follow is mid-file corruption and is returned as an
+// error.
+func replay(f *os.File) (header []byte, payloads [][]byte, validOff int64, err error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, nil, 0, err
+	}
+	m := make([]byte, len(magic))
+	if _, err := io.ReadFull(f, m); err != nil || !bytesEqual(m, magic) {
+		return nil, nil, 0, fmt.Errorf("checkpoint: not a journal (bad magic)")
+	}
+	off := int64(len(magic))
+	first := true
+	for {
+		payload, n, rerr := readRecord(f)
+		if rerr == io.EOF {
+			break // clean end of journal
+		}
+		if rerr != nil {
+			if errors.Is(rerr, errTorn) {
+				// Torn tail: everything before it stands. A torn
+				// *header* means the journal never finished being born;
+				// Open restarts such a file.
+				if first {
+					return nil, nil, 0, errNoHeader
+				}
+				break
+			}
+			return nil, nil, 0, rerr
+		}
+		if first {
+			header = payload
+			first = false
+		} else {
+			payloads = append(payloads, payload)
+		}
+		off += n
+	}
+	if first {
+		return nil, nil, 0, errNoHeader
+	}
+	return header, payloads, off, nil
+}
+
+// errNoHeader marks a journal whose header record never made it to disk.
+var errNoHeader = errors.New("checkpoint: journal has no valid header")
+
+// errTorn marks a record that ends before its declared length or fails
+// its CRC at the end of the file — the signature of a write cut short.
+var errTorn = errors.New("checkpoint: torn record")
+
+// readRecord decodes one record at the current offset. io.EOF at a
+// record boundary is a clean end. A short header/payload is torn. A CRC
+// mismatch is torn when it is the final record, corruption otherwise.
+func readRecord(f *os.File) (payload []byte, n int64, err error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		if err == io.EOF {
+			return nil, 0, io.EOF
+		}
+		return nil, 0, errTorn
+	}
+	ln := binary.BigEndian.Uint32(hdr[0:4])
+	want := binary.BigEndian.Uint32(hdr[4:8])
+	if ln > MaxRecordBytes {
+		return nil, 0, fmt.Errorf("checkpoint: record length %d exceeds limit", ln)
+	}
+	payload = make([]byte, ln)
+	if _, err := io.ReadFull(f, payload); err != nil {
+		return nil, 0, errTorn
+	}
+	if crc32.ChecksumIEEE(payload) != want {
+		// Distinguish "last record damaged" (torn) from mid-file rot:
+		// peek one byte ahead.
+		var b [1]byte
+		if _, err := f.Read(b[:]); err == io.EOF {
+			return nil, 0, errTorn
+		}
+		return nil, 0, fmt.Errorf("checkpoint: mid-journal CRC mismatch")
+	}
+	return payload, 8 + int64(ln), nil
+}
+
+// Append writes one payload as a length-prefixed, CRC-guarded record.
+// Safe for concurrent use. The write is buffered by the OS, not
+// fsynced; call Sync for a durability barrier.
+func (j *Journal) Append(payload []byte) error {
+	if len(payload) > MaxRecordBytes {
+		return fmt.Errorf("checkpoint: payload %d bytes exceeds record limit", len(payload))
+	}
+	rec := make([]byte, 8+len(payload))
+	binary.BigEndian.PutUint32(rec[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(rec[4:8], crc32.ChecksumIEEE(payload))
+	copy(rec[8:], payload)
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	_, err := j.f.Write(rec)
+	return err
+}
+
+// Sync flushes appended records to stable storage.
+func (j *Journal) Sync() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Sync()
+}
+
+// Close closes the underlying file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

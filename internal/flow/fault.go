@@ -1,0 +1,100 @@
+package flow
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"time"
+
+	"cfaopc/internal/geom"
+	"cfaopc/internal/grid"
+	"cfaopc/internal/litho"
+)
+
+// TileInfo identifies the window an optimizer invocation is serving. The
+// flow publishes it on the simulator's context (sim.Ctx) before every
+// attempt, which is what lets wrappers — the fault-injection harness
+// below, or telemetry — key behaviour on (tile, attempt) without
+// widening the Optimizer signature.
+type TileInfo struct {
+	Index   int // row-major window index
+	Attempt int // 0-based attempt counter; the fallback attempt is TileRetries+1
+	CX, CY  int // core origin in full-grid pixels
+}
+
+type tileInfoKey struct{}
+
+// TileInfoFrom extracts the tile identity the flow attached to ctx.
+// Outside a flow attempt (single-window use, nil context) ok is false.
+func TileInfoFrom(ctx context.Context) (TileInfo, bool) {
+	if ctx == nil {
+		return TileInfo{}, false
+	}
+	info, ok := ctx.Value(tileInfoKey{}).(TileInfo)
+	return info, ok
+}
+
+// Fault is one injected failure mode for a single optimizer attempt.
+// Fields compose: Sleep runs first, then Panic, then NaN.
+type Fault struct {
+	// Sleep blocks before anything else, respecting the attempt's
+	// context so per-tile timeouts and run cancellation stay prompt.
+	Sleep time.Duration
+	// Panic aborts the attempt with a panic, exercising the isolation
+	// recover path.
+	Panic bool
+	// NaN returns a NaN-poisoned mask and shot list, exercising output
+	// validation.
+	NaN bool
+	// BadRadius returns one shot with a radius far outside any sane
+	// [RMin, RMax] bound, exercising the radius check.
+	BadRadius bool
+}
+
+// FaultPlan maps a tile index to its per-attempt fault scripts: attempt
+// k of tile i suffers plan[i][k]; attempts past the end of the slice run
+// clean. Keying on (tile, attempt) makes every failure → retry →
+// fallback trajectory deterministic, which is what lets the tests demand
+// byte-identical output across interrupted and uninterrupted runs.
+type FaultPlan map[int][]Fault
+
+// InjectFaults wraps an Optimizer with deterministic fault injection
+// driven by the tile identity the flow publishes on sim.Ctx. Invocations
+// outside a flow (no TileInfo on the context) pass through untouched.
+func InjectFaults(opt Optimizer, plan FaultPlan) Optimizer {
+	return func(sim *litho.Simulator, target *grid.Real) (*grid.Real, []geom.Circle) {
+		info, ok := TileInfoFrom(sim.Ctx)
+		if !ok {
+			return opt(sim, target)
+		}
+		script := plan[info.Index]
+		if info.Attempt >= len(script) {
+			return opt(sim, target)
+		}
+		f := script[info.Attempt]
+		if f.Sleep > 0 {
+			t := time.NewTimer(f.Sleep)
+			defer t.Stop()
+			select {
+			case <-t.C:
+			case <-sim.Ctx.Done():
+				// Deadline or cancellation during the injected stall:
+				// return garbage; the flow discards it on ctx.Err().
+				return grid.NewReal(target.W, target.H), nil
+			}
+		}
+		if f.Panic {
+			panic(fmt.Sprintf("injected fault: tile %d attempt %d", info.Index, info.Attempt))
+		}
+		if f.NaN {
+			mask := grid.NewReal(target.W, target.H)
+			mask.Data[0] = math.NaN()
+			return mask, []geom.Circle{{X: math.NaN(), Y: 1, R: 1}}
+		}
+		if f.BadRadius {
+			mask := grid.NewReal(target.W, target.H)
+			return mask, []geom.Circle{{X: 1, Y: 1, R: 1e9}}
+		}
+		return opt(sim, target)
+	}
+}

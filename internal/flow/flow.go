@@ -14,14 +14,38 @@
 // in that order, so the stitched shot list and mask are bit-identical at
 // any worker count — the same determinism contract litho.Simulator.Workers
 // documents for per-kernel parallelism.
+//
+// A full-chip run is also long and partially hostile territory — one
+// degenerate window must never cost the other 9,999 — so the flow carries
+// a fault envelope:
+//
+//   - Cancellation. RunContext threads a context through the worker pool
+//     and into each worker's simulator, so SIGINT or a deadline stops the
+//     run within one kernel convolution and returns ctx.Err().
+//   - Isolation. Each optimizer attempt runs under recover() and its
+//     output is validated (no NaNs, radii in bounds, centers inside the
+//     window). A bad tile is retried (Config.TileRetries), then degraded
+//     to Config.Fallback, then to an empty tile — never a crashed run.
+//     TileStat records the attempts, outcome path and failure mode.
+//   - Restartability. With Config.CheckpointPath set, every completed
+//     tile is journaled through internal/checkpoint; a rerun replays the
+//     journal, skips finished tiles, and still reduces in row-major
+//     order, so a resumed run's shot list and mask are bit-identical to
+//     an uninterrupted one.
 package flow
 
 import (
+	"bytes"
+	"context"
+	"encoding/gob"
 	"fmt"
+	"hash/fnv"
+	"math"
 	"runtime"
 	"sync"
 	"time"
 
+	"cfaopc/internal/checkpoint"
 	"cfaopc/internal/geom"
 	"cfaopc/internal/grid"
 	"cfaopc/internal/layout"
@@ -57,7 +81,36 @@ type Config struct {
 	// Optimize runs on each window (e.g. a core.CircleOpt wrapper). It
 	// must be safe to call concurrently on distinct simulators.
 	Optimize Optimizer
+
+	// TileRetries is how many extra times a failed window is re-attempted
+	// with Optimize before degrading. Zero means one attempt only.
+	TileRetries int
+	// Fallback, when non-nil, runs once after Optimize (and its retries)
+	// failed — typically a cheaper, hardier engine such as rule-based
+	// fracturing of the rasterized target (CircleRule) standing in for
+	// CircleOpt. If it also fails, the tile degrades to empty.
+	Fallback Optimizer
+	// TileTimeout bounds the wall time of a single optimizer attempt.
+	// A timed-out attempt counts as a failure (and is retried / degraded
+	// like one); zero disables the deadline.
+	TileTimeout time.Duration
+	// RMinPx / RMaxPx bound valid shot radii (in window-grid pixels) for
+	// output validation; a shot outside [RMinPx, RMaxPx] fails the tile.
+	// Both zero disables the radius check.
+	RMinPx, RMaxPx float64
+	// CheckpointPath, when non-empty, journals every completed tile
+	// (shots + stat) so an interrupted run resumes instead of restarting.
+	// The journal is bound to the (layout, tiling) fingerprint: reusing a
+	// path across different runs is an error, not silent corruption.
+	CheckpointPath string
 }
+
+// Outcome paths recorded in TileStat.Path.
+const (
+	PathPrimary  = "primary"  // Optimize succeeded (possibly after retries)
+	PathFallback = "fallback" // Optimize exhausted retries; Fallback succeeded
+	PathEmpty    = "empty"    // both failed; the tile contributes no shots
+)
 
 // TileStat records what one window contributed to the stitched result.
 type TileStat struct {
@@ -66,6 +119,11 @@ type TileStat struct {
 	Occupied bool          // window held target geometry and was optimized
 	Shots    int           // core-owned shots kept from this window
 	Wall     time.Duration // wall time spent on this window
+
+	Attempts int    // optimizer invocations (primary + fallback); 0 if unoccupied
+	Path     string // outcome path: PathPrimary / PathFallback / PathEmpty ("" if unoccupied)
+	Failure  string // last failure mode seen, "" when the first attempt succeeded
+	Resumed  bool   // replayed from the checkpoint journal, not recomputed
 }
 
 // Result is the stitched output.
@@ -74,6 +132,11 @@ type Result struct {
 	Shots     []geom.Circle // full-grid shot list
 	Tiles     int           // number of windows optimized
 	TileStats []TileStat    // per-window records in row-major order
+
+	Retried   int // tiles that needed >1 attempt but still finished on Optimize
+	Fallbacks int // tiles that degraded to the Fallback optimizer
+	Empty     int // tiles degraded to empty after every optimizer failed
+	Resumed   int // tiles replayed from the checkpoint journal
 }
 
 // tileWorkerCount resolves the effective tile parallelism.
@@ -146,24 +209,155 @@ type tileOut struct {
 	stat  TileStat
 }
 
-// runTile extracts, optimizes and filters one window.
-func runTile(sim *litho.Simulator, full *grid.Real, cfg Config, j tileJob, window int) tileOut {
+// validateTile rejects optimizer output that would poison the stitched
+// result: NaN/Inf masks, non-finite shots, radii outside [RMinPx, RMaxPx]
+// and centers outside the window. Coordinates here are window-local.
+func validateTile(mask *grid.Real, shots []geom.Circle, cfg Config, window int) error {
+	if mask != nil {
+		if mask.W != window || mask.H != window {
+			return fmt.Errorf("mask %dx%d, window %d", mask.W, mask.H, window)
+		}
+		if mask.HasNaN() {
+			return fmt.Errorf("mask has NaN/Inf pixels")
+		}
+	}
+	const eps = 1e-9
+	for i, s := range shots {
+		if !finite(s.X) || !finite(s.Y) || !finite(s.R) {
+			return fmt.Errorf("shot %d not finite: %+v", i, s)
+		}
+		if s.X < 0 || s.X > float64(window) || s.Y < 0 || s.Y > float64(window) {
+			return fmt.Errorf("shot %d center (%g, %g) outside window %d", i, s.X, s.Y, window)
+		}
+		if cfg.RMinPx > 0 || cfg.RMaxPx > 0 {
+			if s.R < cfg.RMinPx-eps || s.R > cfg.RMaxPx+eps {
+				return fmt.Errorf("shot %d radius %g outside [%g, %g]", i, s.R, cfg.RMinPx, cfg.RMaxPx)
+			}
+		}
+	}
+	return nil
+}
+
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// attemptTile runs one optimizer invocation in isolation: a panic or
+// invalid output becomes an error, a per-attempt deadline is enforced
+// through the simulator's cooperative context, and the tile's identity
+// is published on that context for fault-injection harnesses.
+func attemptTile(ctx context.Context, sim *litho.Simulator, opt Optimizer, target *grid.Real,
+	cfg Config, j tileJob, attempt int, window int) (shots []geom.Circle, err error) {
+	tctx := ctx
+	if cfg.TileTimeout > 0 {
+		var cancel context.CancelFunc
+		tctx, cancel = context.WithTimeout(ctx, cfg.TileTimeout)
+		defer cancel()
+	}
+	tctx = context.WithValue(tctx, tileInfoKey{}, TileInfo{
+		Index: j.index, Attempt: attempt, CX: j.cx, CY: j.cy,
+	})
+	sim.Ctx = tctx
+	defer func() {
+		sim.Ctx = nil
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v", r)
+		}
+	}()
+	mask, shots := opt(sim, target)
+	if cerr := tctx.Err(); cerr != nil {
+		// Canceled or timed out mid-attempt: the output is untrusted.
+		return nil, cerr
+	}
+	if verr := validateTile(mask, shots, cfg, window); verr != nil {
+		return nil, fmt.Errorf("invalid output: %w", verr)
+	}
+	return shots, nil
+}
+
+// runTile extracts, optimizes and filters one window, degrading through
+// retry → fallback → empty instead of failing the run. When ctx is
+// canceled the tile is abandoned (stat.Path stays empty); Run turns that
+// into ctx.Err() for the whole run.
+func runTile(ctx context.Context, sim *litho.Simulator, full *grid.Real, cfg Config, j tileJob, window int) tileOut {
 	start := time.Now()
 	ox := j.cx - cfg.HaloPx
 	oy := j.cy - cfg.HaloPx
 	target, occupied := extractWindow(full, ox, oy, window)
 	out := tileOut{stat: TileStat{Index: j.index, CX: j.cx, CY: j.cy, Occupied: occupied}}
-	if occupied {
-		_, shots := cfg.Optimize(sim, target)
+	defer func() { out.stat.Wall = time.Since(start) }()
+	if !occupied {
+		return out
+	}
+
+	keep := func(shots []geom.Circle, path string) tileOut {
 		out.shots = ownedShots(shots, ox, oy, j.cx, j.cy, cfg.CorePx)
 		out.stat.Shots = len(out.shots)
+		out.stat.Path = path
+		return out
 	}
-	out.stat.Wall = time.Since(start)
+
+	for attempt := 0; attempt <= cfg.TileRetries; attempt++ {
+		if ctx.Err() != nil {
+			return out // run canceled: abandon, don't degrade
+		}
+		out.stat.Attempts++
+		shots, err := attemptTile(ctx, sim, cfg.Optimize, target, cfg, j, attempt, window)
+		if err == nil {
+			return keep(shots, PathPrimary)
+		}
+		out.stat.Failure = err.Error()
+		if ctx.Err() != nil {
+			return out
+		}
+	}
+	if cfg.Fallback != nil {
+		out.stat.Attempts++
+		shots, err := attemptTile(ctx, sim, cfg.Fallback, target, cfg, j, cfg.TileRetries+1, window)
+		if err == nil {
+			return keep(shots, PathFallback)
+		}
+		out.stat.Failure = err.Error()
+		if ctx.Err() != nil {
+			return out
+		}
+	}
+	// Graceful floor: the window contributes nothing, the run survives.
+	out.stat.Path = PathEmpty
 	return out
 }
 
-// Run tiles the layout and optimizes every window.
+// tileRecord is the gob payload journaled per completed tile.
+type tileRecord struct {
+	Shots []geom.Circle
+	Stat  TileStat
+}
+
+// fingerprint binds a checkpoint journal to one (layout, tiling) pair.
+// It covers everything that determines per-tile output except the
+// optimizer itself (a func is not hashable); resuming with a different
+// optimizer is the caller's responsibility, like any cache key.
+func fingerprint(l *layout.Layout, cfg Config) []byte {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "grid=%d core=%d halo=%d kopt=%d retries=%d rmin=%g rmax=%g\n",
+		cfg.GridN, cfg.CorePx, cfg.HaloPx, cfg.KOpt, cfg.TileRetries, cfg.RMinPx, cfg.RMaxPx)
+	fmt.Fprintf(h, "optics=%+v\n", cfg.Optics)
+	fmt.Fprintf(h, "layout=%s tile=%d\n", l.Name, l.TileNM)
+	for _, r := range l.Rects {
+		fmt.Fprintf(h, "%d,%d,%d,%d\n", r.X, r.Y, r.W, r.H)
+	}
+	return []byte(fmt.Sprintf("cfaopc-flow-v1 %016x", h.Sum64()))
+}
+
+// Run tiles the layout and optimizes every window. It is RunContext with
+// a background context.
 func Run(l *layout.Layout, cfg Config) (*Result, error) {
+	return RunContext(context.Background(), l, cfg)
+}
+
+// RunContext is Run under a context: cancellation (SIGINT, deadline)
+// stops the worker pool and the in-flight simulations promptly and
+// returns ctx.Err(). Completed tiles are still journaled when
+// checkpointing is enabled, so a canceled run resumes where it stopped.
+func RunContext(ctx context.Context, l *layout.Layout, cfg Config) (*Result, error) {
 	switch {
 	case cfg.GridN <= 0:
 		return nil, fmt.Errorf("flow: invalid grid %d", cfg.GridN)
@@ -171,6 +365,8 @@ func Run(l *layout.Layout, cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("flow: invalid core %d / halo %d", cfg.CorePx, cfg.HaloPx)
 	case cfg.Optimize == nil:
 		return nil, fmt.Errorf("flow: no optimizer")
+	case cfg.TileRetries < 0:
+		return nil, fmt.Errorf("flow: negative retries %d", cfg.TileRetries)
 	}
 	window := cfg.CorePx + 2*cfg.HaloPx
 	if window > cfg.GridN {
@@ -189,6 +385,48 @@ func Run(l *layout.Layout, cfg Config) (*Result, error) {
 			jobs = append(jobs, tileJob{index: len(jobs), cx: cx, cy: cy})
 		}
 	}
+	nTiles := len(jobs)
+	outs := make([]tileOut, nTiles)
+
+	// Replay the checkpoint journal (if any) and drop finished tiles from
+	// the job list before sizing the pool.
+	var journal *checkpoint.Journal
+	resumed := 0
+	if cfg.CheckpointPath != "" {
+		var payloads [][]byte
+		var err error
+		journal, payloads, err = checkpoint.Open(cfg.CheckpointPath, fingerprint(l, cfg))
+		if err != nil {
+			return nil, fmt.Errorf("flow: %w", err)
+		}
+		defer journal.Close()
+		done := make(map[int]bool, len(payloads))
+		for _, p := range payloads {
+			var rec tileRecord
+			if derr := gob.NewDecoder(bytes.NewReader(p)).Decode(&rec); derr != nil {
+				return nil, fmt.Errorf("flow: corrupt checkpoint record: %w", derr)
+			}
+			idx := rec.Stat.Index
+			if idx < 0 || idx >= nTiles {
+				return nil, fmt.Errorf("flow: checkpoint tile %d out of range [0, %d)", idx, nTiles)
+			}
+			rec.Stat.Resumed = true
+			outs[idx] = tileOut{shots: rec.Shots, stat: rec.Stat}
+			if !done[idx] {
+				done[idx] = true
+				resumed++
+			}
+		}
+		if resumed > 0 {
+			remaining := jobs[:0]
+			for _, j := range jobs {
+				if !done[j.index] {
+					remaining = append(remaining, j)
+				}
+			}
+			jobs = remaining
+		}
+	}
 	workers := tileWorkerCount(cfg.TileWorkers, len(jobs))
 
 	// Per-worker simulators are built serially up front so a kernel error
@@ -205,29 +443,70 @@ func Run(l *layout.Layout, cfg Config) (*Result, error) {
 	}
 
 	full := l.Rasterize(cfg.GridN)
-	outs := make([]tileOut, len(jobs))
 	jobCh := make(chan tileJob)
+	journalErr := make(chan error, 1)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(sim *litho.Simulator) {
 			defer wg.Done()
 			for j := range jobCh {
-				outs[j.index] = runTile(sim, full, cfg, j, window)
+				if ctx.Err() != nil {
+					continue // drain without work so the feeder never blocks
+				}
+				out := runTile(ctx, sim, full, cfg, j, window)
+				outs[j.index] = out
+				if journal != nil && ctx.Err() == nil {
+					var buf bytes.Buffer
+					err := gob.NewEncoder(&buf).Encode(tileRecord{Shots: out.shots, Stat: out.stat})
+					if err == nil {
+						err = journal.Append(buf.Bytes())
+					}
+					if err != nil {
+						select {
+						case journalErr <- err:
+						default:
+						}
+					}
+				}
 			}
 		}(sims[w])
 	}
+feed:
 	for _, j := range jobs {
-		jobCh <- j
+		select {
+		case jobCh <- j:
+		case <-ctx.Done():
+			break feed
+		}
 	}
 	close(jobCh)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	select {
+	case err := <-journalErr:
+		return nil, fmt.Errorf("flow: checkpoint append: %w", err)
+	default:
+	}
 
 	// Ordered reduce: row-major tile order regardless of completion order.
-	res := &Result{Tiles: len(jobs), TileStats: make([]TileStat, 0, len(jobs))}
+	res := &Result{Tiles: nTiles, TileStats: make([]TileStat, 0, nTiles), Resumed: resumed}
 	for i := range outs {
+		st := &outs[i].stat
 		res.Shots = append(res.Shots, outs[i].shots...)
-		res.TileStats = append(res.TileStats, outs[i].stat)
+		res.TileStats = append(res.TileStats, *st)
+		switch st.Path {
+		case PathPrimary:
+			if st.Attempts > 1 {
+				res.Retried++
+			}
+		case PathFallback:
+			res.Fallbacks++
+		case PathEmpty:
+			res.Empty++
+		}
 	}
 	res.Mask = geom.RasterizeCircles(cfg.GridN, cfg.GridN, res.Shots)
 	return res, nil

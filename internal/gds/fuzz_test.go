@@ -7,8 +7,52 @@ import (
 	"cfaopc/internal/layout"
 )
 
-// FuzzRead ensures the GDSII reader never panics on malformed streams and
-// that accepted streams yield valid layouts.
+// adversarialStream builds a syntactically valid GDSII stream designed
+// to inflate reader state: nBoundaries rectangles whose bottom edges are
+// subdivided into unit steps so each boundary carries ~nVerts collinear
+// vertices. Rectangles are stacked in y, so a stream that survives the
+// caps still decomposes into a valid (non-overlapping) layout.
+func adversarialStream(tb testing.TB, nBoundaries, nVerts int) []byte {
+	var buf bytes.Buffer
+	check := func(err error) {
+		if err != nil {
+			tb.Fatal(err)
+		}
+	}
+	check(writeRecord(&buf, recHEADER, dtInt16, int16Bytes(600)))
+	check(writeRecord(&buf, recSTRNAME, dtASCII, asciiBytes("ADVERSARIAL")))
+	for b := 0; b < nBoundaries; b++ {
+		check(writeRecord(&buf, recBOUNDARY, dtNone, nil))
+		check(writeRecord(&buf, recLAYER, dtInt16, int16Bytes(1)))
+		steps := nVerts - 4
+		if steps < 1 {
+			steps = 1
+		}
+		y0 := int32(200 * b)
+		pts := make([]int32, 0, 2*(steps+4))
+		for i := 0; i <= steps; i++ { // subdivided bottom edge
+			pts = append(pts, int32(2*i), y0)
+		}
+		xe := int32(2 * steps)
+		pts = append(pts, xe, y0+100, 0, y0+100, 0, y0)
+		// Emit in XY chunks of ≤ 8191 points (16-bit record length cap).
+		for i := 0; i < len(pts); i += 2 * 8191 {
+			end := i + 2*8191
+			if end > len(pts) {
+				end = len(pts)
+			}
+			check(writeRecord(&buf, recXY, dtInt32, int32Bytes(pts[i:end]...)))
+		}
+		check(writeRecord(&buf, recENDEL, dtNone, nil))
+	}
+	check(writeRecord(&buf, recENDLIB, dtNone, nil))
+	return buf.Bytes()
+}
+
+// FuzzRead ensures the GDSII reader never panics on malformed streams,
+// that accepted streams yield valid layouts, and that the resource caps
+// bound adversarial-but-well-formed streams under both the default and
+// deliberately tiny limits.
 func FuzzRead(f *testing.F) {
 	// Seed with a genuine stream plus truncations/mutations of it.
 	var buf bytes.Buffer
@@ -29,13 +73,25 @@ func FuzzRead(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{0, 6, 0x00, 0x02, 0, 0})
 
+	// Cap-triggering seeds: one boundary past the default per-boundary
+	// vertex cap, and smaller streams that trip the tiny fuzz limits on
+	// record count and rectangle count below.
+	f.Add(adversarialStream(f, 1, DefaultLimits().MaxPolyVertices+16))
+	f.Add(adversarialStream(f, 24, 64)) // > 64 records, > 8 rects under tiny limits
+
+	tiny := Limits{MaxRecords: 64, MaxPolyVertices: 64, MaxRects: 8}
 	f.Fuzz(func(t *testing.T, data []byte) {
-		got, err := Read(bytes.NewReader(data), -1)
-		if err != nil {
-			return
-		}
-		if err := got.Validate(); err != nil {
-			t.Fatalf("accepted stream produced invalid layout: %v", err)
+		for _, try := range []func() (*layout.Layout, error){
+			func() (*layout.Layout, error) { return Read(bytes.NewReader(data), -1) },
+			func() (*layout.Layout, error) { return ReadWithLimits(bytes.NewReader(data), -1, tiny) },
+		} {
+			got, err := try()
+			if err != nil {
+				continue
+			}
+			if err := got.Validate(); err != nil {
+				t.Fatalf("accepted stream produced invalid layout: %v", err)
+			}
 		}
 	})
 }

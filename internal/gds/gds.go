@@ -154,11 +154,46 @@ func readRecord(r *bufio.Reader) (*record, error) {
 // point is a polygon vertex in database units.
 type point struct{ x, y int32 }
 
+// Limits bounds the memory Read may commit to one stream. A GDSII file
+// is attacker-controllable input (record counts, vertex counts, and the
+// rectangle decomposition can all be inflated far beyond the stream's
+// own size), so the reader refuses, with an error, rather than growing
+// unbounded.
+type Limits struct {
+	// MaxRecords caps the total records decoded from the stream.
+	MaxRecords int
+	// MaxPolyVertices caps the vertices accumulated for one BOUNDARY
+	// (XY records within a boundary concatenate).
+	MaxPolyVertices int
+	// MaxRects caps the rectangles produced by decomposing all accepted
+	// boundaries — the decomposition of a V-vertex polygon can be
+	// superlinear in V, so this is the true memory ceiling.
+	MaxRects int
+}
+
+// DefaultLimits is sized far beyond any layout this repository handles
+// (a full tile suite is a few thousand rectangles) while still bounding
+// a hostile stream to tens of megabytes of decoded state.
+func DefaultLimits() Limits {
+	return Limits{
+		MaxRecords:      1 << 20,
+		MaxPolyVertices: 1 << 15,
+		MaxRects:        1 << 20,
+	}
+}
+
 // Read parses a GDSII stream and returns the boundaries of the requested
 // layer (-1 = any layer) of the first structure, decomposed into
 // rectangles. TileNM is set to the bounding extent rounded up; callers can
-// override.
+// override. Resource use is bounded by DefaultLimits; use ReadWithLimits
+// to tighten or loosen the caps.
 func Read(r io.Reader, layer int16) (*layout.Layout, error) {
+	return ReadWithLimits(r, layer, DefaultLimits())
+}
+
+// ReadWithLimits is Read under explicit resource caps: exceeding any
+// limit returns an error instead of growing without bound.
+func ReadWithLimits(r io.Reader, layer int16, lim Limits) (*layout.Layout, error) {
 	br := bufio.NewReader(r)
 	first, err := readRecord(br)
 	if err != nil {
@@ -168,7 +203,8 @@ func Read(r io.Reader, layer int16) (*layout.Layout, error) {
 		return nil, fmt.Errorf("gds: stream does not start with HEADER (got %s)", recName(first.typ))
 	}
 	l := &layout.Layout{}
-	var polys [][]point
+	records := 1
+	maxExtent := 0
 
 	inBoundary := false
 	var curLayer int16 = -1
@@ -180,6 +216,10 @@ func Read(r io.Reader, layer int16) (*layout.Layout, error) {
 		}
 		if err != nil {
 			return nil, err
+		}
+		records++
+		if records > lim.MaxRecords {
+			return nil, fmt.Errorf("gds: stream exceeds %d records", lim.MaxRecords)
 		}
 		switch rec.typ {
 		case recSTRNAME:
@@ -201,6 +241,9 @@ func Read(r io.Reader, layer int16) (*layout.Layout, error) {
 			if len(rec.data)%8 != 0 {
 				return nil, fmt.Errorf("gds: XY payload not a multiple of 8")
 			}
+			if n := len(curXY) + len(rec.data)/8; n > lim.MaxPolyVertices {
+				return nil, fmt.Errorf("gds: boundary exceeds %d vertices", lim.MaxPolyVertices)
+			}
 			for i := 0; i+8 <= len(rec.data); i += 8 {
 				curXY = append(curXY, point{
 					x: int32(binary.BigEndian.Uint32(rec.data[i:])),
@@ -209,30 +252,30 @@ func Read(r io.Reader, layer int16) (*layout.Layout, error) {
 			}
 		case recENDEL:
 			if inBoundary && (layer < 0 || curLayer == layer) && len(curXY) >= 4 {
-				polys = append(polys, curXY)
+				rects, err := decomposeRectilinear(curXY)
+				if err != nil {
+					return nil, err
+				}
+				if len(l.Rects)+len(rects) > lim.MaxRects {
+					return nil, fmt.Errorf("gds: stream exceeds %d rectangles", lim.MaxRects)
+				}
+				for _, rc := range rects {
+					l.Rects = append(l.Rects, rc)
+					if e := rc.X + rc.W; e > maxExtent {
+						maxExtent = e
+					}
+					if e := rc.Y + rc.H; e > maxExtent {
+						maxExtent = e
+					}
+				}
 			}
 			inBoundary = false
+			curXY = nil
 		case recENDLIB:
 			goto done
 		}
 	}
 done:
-	maxExtent := 0
-	for _, poly := range polys {
-		rects, err := decomposeRectilinear(poly)
-		if err != nil {
-			return nil, err
-		}
-		for _, rc := range rects {
-			l.Rects = append(l.Rects, rc)
-			if e := rc.X + rc.W; e > maxExtent {
-				maxExtent = e
-			}
-			if e := rc.Y + rc.H; e > maxExtent {
-				maxExtent = e
-			}
-		}
-	}
 	l.TileNM = 2048
 	for l.TileNM < maxExtent {
 		l.TileNM *= 2

@@ -1,0 +1,78 @@
+package gds
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"cfaopc/internal/layout"
+)
+
+// TestReadLimitsRecordCap trips MaxRecords on an otherwise valid stream.
+func TestReadLimitsRecordCap(t *testing.T) {
+	data := adversarialStream(t, 8, 8) // 8 boundaries × 4 records + framing
+	lim := DefaultLimits()
+	lim.MaxRecords = 10
+	_, err := ReadWithLimits(bytes.NewReader(data), -1, lim)
+	if err == nil || !strings.Contains(err.Error(), "records") {
+		t.Fatalf("err = %v, want record-cap error", err)
+	}
+}
+
+// TestReadLimitsVertexCap trips MaxPolyVertices, both via a tightened
+// limit and via the default limit on a genuinely oversized boundary.
+func TestReadLimitsVertexCap(t *testing.T) {
+	data := adversarialStream(t, 1, 64)
+	lim := DefaultLimits()
+	lim.MaxPolyVertices = 32
+	_, err := ReadWithLimits(bytes.NewReader(data), -1, lim)
+	if err == nil || !strings.Contains(err.Error(), "vertices") {
+		t.Fatalf("err = %v, want vertex-cap error", err)
+	}
+
+	big := adversarialStream(t, 1, DefaultLimits().MaxPolyVertices+16)
+	if _, err := Read(bytes.NewReader(big), -1); err == nil || !strings.Contains(err.Error(), "vertices") {
+		t.Fatalf("default Read err = %v, want vertex-cap error", err)
+	}
+}
+
+// TestReadLimitsRectCap trips MaxRects during decomposition.
+func TestReadLimitsRectCap(t *testing.T) {
+	data := adversarialStream(t, 12, 8) // 12 rectangles
+	lim := DefaultLimits()
+	lim.MaxRects = 4
+	_, err := ReadWithLimits(bytes.NewReader(data), -1, lim)
+	if err == nil || !strings.Contains(err.Error(), "rectangles") {
+		t.Fatalf("err = %v, want rect-cap error", err)
+	}
+}
+
+// TestReadLimitsAcceptsHonestStreams keeps the caps out of the way of
+// real layouts: the adversarial shape below the caps parses to a valid
+// layout, and a round-tripped suite layout is untouched by the limits.
+func TestReadLimitsAcceptsHonestStreams(t *testing.T) {
+	data := adversarialStream(t, 12, 8)
+	l, err := Read(bytes.NewReader(data), -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l.Rects) != 12 {
+		t.Fatalf("decomposed %d rects, want 12", len(l.Rects))
+	}
+
+	var buf bytes.Buffer
+	src := &layout.Layout{Name: "honest", TileNM: 2048, Rects: []layout.Rect{
+		{X: 100, Y: 100, W: 300, H: 200},
+		{X: 600, Y: 700, W: 120, H: 500},
+	}}
+	if err := Write(&buf, src, 3); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(bytes.NewReader(buf.Bytes()), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Rects) != len(src.Rects) {
+		t.Fatalf("round trip %d rects, want %d", len(got.Rects), len(src.Rects))
+	}
+}

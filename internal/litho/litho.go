@@ -13,6 +13,7 @@
 package litho
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -50,6 +51,14 @@ type Simulator struct {
 	// bit-identical regardless of parallelism: per-kernel fields are
 	// computed into private buffers and reduced in kernel order.
 	Workers int
+	// Ctx, when non-nil, is checked cooperatively between per-kernel
+	// convolution batches. Once it is canceled, Aerial and
+	// AerialBackward stop early and return incomplete images; any
+	// caller that sets Ctx must check Ctx.Err() after a pass and
+	// discard the output when it is non-nil. This is how the tiled
+	// flow makes SIGINT and per-tile deadlines interrupt a simulation
+	// within one kernel convolution instead of one full tile.
+	Ctx context.Context
 
 	// scratch recycles N×N complex grids across forward and adjoint
 	// passes. Each pass needs one spectrum plus one buffer per worker
@@ -72,6 +81,13 @@ func (s *Simulator) putComplex(c *grid.Complex) {
 	if c != nil {
 		s.scratch.Put(c)
 	}
+}
+
+// canceled reports whether the simulator's context (if any) is done.
+// context.Context errors are sticky, so once this returns true every
+// later check in the same pass returns true as well.
+func (s *Simulator) canceled() bool {
+	return s.Ctx != nil && s.Ctx.Err() != nil
 }
 
 // workerCount resolves the effective parallelism.
@@ -163,6 +179,9 @@ func (s *Simulator) Aerial(mask *grid.Real, set *optics.KernelSet, optimizing bo
 	// freshly allocated; internal buffers come from the scratch pool.
 	bufs := make([]*grid.Complex, workers)
 	for start := 0; start < kc; start += workers {
+		if s.canceled() {
+			break // abandoned pass: the intensity image stays incomplete
+		}
 		end := start + workers
 		if end > kc {
 			end = kc
@@ -232,6 +251,9 @@ func (s *Simulator) AerialBackward(dLdI *grid.Real, set *optics.KernelSet, optim
 		bufs[i] = s.getComplex()
 	}
 	for start := 0; start < kc; start += workers {
+		if s.canceled() {
+			break // abandoned pass: the gradient stays incomplete
+		}
 		end := start + workers
 		if end > kc {
 			end = kc
