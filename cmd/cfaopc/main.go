@@ -19,9 +19,15 @@
 // retried (-tile-retries), degraded to the -fallback method, then to an
 // empty tile; -checkpoint journals completed tiles so an interrupted run
 // resumes where it stopped with bit-identical output.
+//
+// Tiled runs are memory-bounded: windows are rasterized on demand from
+// the rect geometry, -stream skips the dense stitched mask entirely, and
+// -mask-out streams the mask to a PGM file in row bands, so peak memory
+// scales with the window size, not the grid.
 package main
 
 import (
+	"bufio"
 	"context"
 	"flag"
 	"fmt"
@@ -140,6 +146,8 @@ func main() {
 		tileRetries = flag.Int("tile-retries", 1, "tiled flow: extra attempts for a failed tile before degrading")
 		fallback    = flag.String("fallback", "circlerule", "tiled flow: degraded-tile method (any -method value, or 'none')")
 		ckptPath    = flag.String("checkpoint", "", "tiled flow: journal completed tiles here and resume from it")
+		stream      = flag.Bool("stream", false, "tiled flow: memory-bounded run — never materialize the dense stitched mask (skips the aerial-image metrics; shot list stays the output)")
+		maskOut     = flag.String("mask-out", "", "tiled flow: stream the stitched mask to this PGM file in row bands (works with or without -stream)")
 		compact     = flag.Bool("compact", false, "remove shots that are redundant for the final union (print-identical)")
 		outDir      = flag.String("out", "out", "output directory")
 	)
@@ -193,6 +201,7 @@ func main() {
 	var mask *grid.Real
 	var shots []geom.Circle
 	if *tileCore > 0 {
+		var bandFile *pgmBandWriter
 		fCfg := flow.Config{
 			GridN:       *gridN,
 			CorePx:      *tileCore,
@@ -211,6 +220,17 @@ func main() {
 			RMinPx:         6 / sim.DX,
 			RMaxPx:         152 / sim.DX,
 			CheckpointPath: *ckptPath,
+			// -stream drops the dense stitched mask; the shot list is the
+			// product, and -mask-out can still write the mask in bands.
+			KeepMask: !*stream,
+		}
+		if *maskOut != "" {
+			var err error
+			bandFile, err = newPGMBandWriter(*maskOut, *gridN)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fCfg.MaskWriter = bandFile
 		}
 		if *fallback != "" && !strings.EqualFold(*fallback, "none") {
 			fb, err := optimizerFor(*fallback, *iters, *gamma, *sampleNM)
@@ -223,6 +243,12 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		if bandFile != nil {
+			if err := bandFile.Close(); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("streamed mask bands to %s\n", *maskOut)
+		}
 		mask, shots = res.Mask, res.Shots
 		occupied := 0
 		for _, ts := range res.TileStats {
@@ -230,7 +256,8 @@ func main() {
 				occupied++
 			}
 		}
-		fmt.Printf("flow: %d windows (%d occupied), tile-workers %d\n", res.Tiles, occupied, *tileWorkers)
+		fmt.Printf("flow: %d windows (%d occupied), tile-workers %d, peak flow memory ≈ %.1f MB\n",
+			res.Tiles, occupied, *tileWorkers, float64(res.PeakBytes)/(1<<20))
 		for _, ts := range res.TileStats {
 			if !ts.Occupied {
 				continue
@@ -257,16 +284,29 @@ func main() {
 	}
 
 	if *compact {
+		if mask == nil {
+			log.Fatal("-compact needs the dense mask; drop -stream")
+		}
 		before := len(shots)
 		shots = fracture.CompactShots(*gridN, *gridN, shots)
 		mask = geom.RasterizeCircles(*gridN, *gridN, shots)
 		fmt.Printf("compaction: %d -> %d shots\n", before, len(shots))
 	}
 
-	res := sim.Simulate(mask)
-	rep := metrics.Evaluate(l, res.ZNom, res.ZMax, res.ZMin, len(shots))
-	fmt.Printf("%s / %s: L2 %.1f nm2, PVB %.1f nm2, EPE %d, shots %d\n",
-		l.Name, *method, rep.L2, rep.PVB, rep.EPE, rep.Shots)
+	// Streaming runs never materialize the dense mask, so the full-grid
+	// aerial-image metrics are skipped; the shot list and MRC report are
+	// the product (use -mask-out to stream the mask to disk).
+	var printed *grid.Real
+	if mask != nil {
+		res := sim.Simulate(mask)
+		printed = res.ZNom
+		rep := metrics.Evaluate(l, res.ZNom, res.ZMax, res.ZMin, len(shots))
+		fmt.Printf("%s / %s: L2 %.1f nm2, PVB %.1f nm2, EPE %d, shots %d\n",
+			l.Name, *method, rep.L2, rep.PVB, rep.EPE, rep.Shots)
+	} else {
+		fmt.Printf("%s / %s: shots %d (streamed: dense-mask metrics skipped)\n",
+			l.Name, *method, len(shots))
+	}
 	if v := metrics.CheckCircleMRC(shots, sim.DX, 12, 76); len(v) > 0 {
 		fmt.Printf("MRC: %d violations (first: shot %d, %s)\n", len(v), v[0].Shot, v[0].Reason)
 	} else {
@@ -289,14 +329,74 @@ func main() {
 	sf.Close()
 
 	for name, g := range map[string]*grid.Real{
-		"target": target, "mask": mask, "printed": res.ZNom,
+		"target": target, "mask": mask, "printed": printed,
 	} {
+		if g == nil {
+			continue // streamed run: no dense mask or print to render
+		}
 		p := filepath.Join(*outDir, fmt.Sprintf("%s_%s.png", l.Name, name))
 		if err := bench.GridPNG(g, p); err != nil {
 			log.Fatal(err)
 		}
 	}
 	fmt.Printf("wrote %s and renders under %s/\n", shotPath, *outDir)
+}
+
+// pgmBandWriter streams the stitched mask to disk as a binary PGM (P5),
+// one flow band at a time, so writing the mask of an arbitrarily large
+// grid never holds more than one band in memory. Bands arrive from the
+// flow in top-to-bottom order; Close verifies every row landed.
+type pgmBandWriter struct {
+	f    *os.File
+	w    *bufio.Writer
+	n    int
+	next int // next expected global row
+	buf  []byte
+}
+
+func newPGMBandWriter(path string, n int) (*pgmBandWriter, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	w := bufio.NewWriter(f)
+	if _, err := fmt.Fprintf(w, "P5\n%d %d\n255\n", n, n); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &pgmBandWriter{f: f, w: w, n: n, buf: make([]byte, n)}, nil
+}
+
+func (p *pgmBandWriter) WriteBand(y0 int, band *grid.Real) error {
+	if y0 != p.next || band.W != p.n {
+		return fmt.Errorf("pgm: band at row %d (width %d), expected row %d width %d", y0, band.W, p.next, p.n)
+	}
+	for y := 0; y < band.H; y++ {
+		for x := 0; x < p.n; x++ {
+			if band.Data[y*p.n+x] > 0.5 {
+				p.buf[x] = 255
+			} else {
+				p.buf[x] = 0
+			}
+		}
+		if _, err := p.w.Write(p.buf); err != nil {
+			return err
+		}
+	}
+	p.next += band.H
+	return nil
+}
+
+func (p *pgmBandWriter) Close() error {
+	if p.next != p.n {
+		p.f.Close()
+		return fmt.Errorf("pgm: only %d of %d rows streamed", p.next, p.n)
+	}
+	if err := p.w.Flush(); err != nil {
+		p.f.Close()
+		return err
+	}
+	return p.f.Close()
 }
 
 func max(a, b int) int {

@@ -46,7 +46,7 @@ func main() {
 		f7       = flag.Bool("fig7", false, "run Figure 7")
 		abl      = flag.Bool("ablations", false, "run the design-choice ablations (STE, coverage repair, alpha, K_opt)")
 		ext      = flag.Bool("extensions", false, "run the extension experiments (DoseOpt, greedy set cover, compaction)")
-		fl       = flag.Bool("flow", false, "run the tiled full-chip flow exhibit (per-tile stats, worker sweep)")
+		fl       = flag.Bool("flow", false, "run the tiled full-chip flow exhibit (worker sweep, streamed vs dense-mask peak memory)")
 		ft       = flag.Bool("faults", false, "run the fault-tolerance exhibit (injected faults, degradation, checkpoint resume)")
 	)
 	flag.Parse()

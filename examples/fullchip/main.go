@@ -45,7 +45,8 @@ func main() {
 		HaloPx:      32,  // 256 nm optical context
 		Optics:      optics.Default(),
 		KOpt:        4,
-		TileWorkers: -1, // one window per core; shots identical at any count
+		TileWorkers: -1,   // one window per core; shots identical at any count
+		KeepMask:    true, // the full-chip scoring below needs the dense mask
 		Optimize: func(sim *litho.Simulator, target *grid.Real) (*grid.Real, []geom.Circle) {
 			coCfg := core.DefaultConfig(sim.DX)
 			coCfg.Iterations = 30
@@ -57,10 +58,12 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("optimized %d windows → %d total shots\n", res.Tiles, len(res.Shots))
+	fmt.Printf("optimized %d windows → %d total shots (peak flow memory ≈ %.1f MB)\n",
+		res.Tiles, len(res.Shots), float64(res.PeakBytes)/(1<<20))
 	for _, ts := range res.TileStats {
-		fmt.Printf("  tile %d core(%3d,%3d): occupied=%-5v shots %3d  wall %s\n",
-			ts.Index, ts.CX, ts.CY, ts.Occupied, ts.Shots, ts.Wall.Round(time.Millisecond))
+		fmt.Printf("  tile %d core(%3d,%3d): occupied=%-5v shots %3d  wall %s (raster %s)\n",
+			ts.Index, ts.CX, ts.CY, ts.Occupied, ts.Shots, ts.Wall.Round(time.Millisecond),
+			ts.RasterWall.Round(time.Microsecond))
 	}
 
 	// Score the stitched result with a full-chip simulation.

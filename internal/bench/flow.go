@@ -52,7 +52,7 @@ func (r *Runner) FlowTable(o FlowOptions) (*Table, error) {
 	}
 	t := &Table{
 		Title:  fmt.Sprintf("Tiled flow: %s, grid %d, core %d, halo %d", l.Name, r.Opt.GridN, o.CorePx, o.HaloPx),
-		Header: []string{"tile-workers", "tiles", "occupied", "shots", "wall", "speedup", "identical"},
+		Header: []string{"tile-workers", "mask", "tiles", "occupied", "shots", "wall", "speedup", "peak-mem", "identical"},
 	}
 	// Warm the kernel cache so the first swept count is not charged the
 	// one-time SOCS decomposition.
@@ -64,7 +64,22 @@ func (r *Runner) FlowTable(o FlowOptions) (*Table, error) {
 	}
 	var base *flow.Result
 	var baseWall time.Duration
+	// Each worker count runs streamed (shot list only) and the baseline
+	// count additionally runs with the dense mask kept, so the peak-mem
+	// column shows the O(window²) vs O(GridN²) gap the streaming path
+	// removes.
+	type variant struct {
+		tw       int
+		keepMask bool
+	}
+	variants := make([]variant, 0, len(o.TileWorkers)+1)
 	for _, tw := range o.TileWorkers {
+		variants = append(variants, variant{tw: tw})
+	}
+	if len(o.TileWorkers) > 0 {
+		variants = append(variants, variant{tw: o.TileWorkers[0], keepMask: true})
+	}
+	for _, v := range variants {
 		fCfg := flow.Config{
 			GridN:  r.Opt.GridN,
 			CorePx: o.CorePx,
@@ -74,8 +89,9 @@ func (r *Runner) FlowTable(o FlowOptions) (*Table, error) {
 			// Per-kernel parallelism stays serial so the sweep isolates
 			// tile-level scaling.
 			Workers:     1,
-			TileWorkers: tw,
+			TileWorkers: v.tw,
 			Optimize:    opt,
+			KeepMask:    v.keepMask,
 		}
 		start := time.Now()
 		res, err := flow.Run(l, fCfg)
@@ -98,17 +114,36 @@ func (r *Runner) FlowTable(o FlowOptions) (*Table, error) {
 				identical = "NO"
 			}
 		}
+		maskCol := "streamed"
+		if v.keepMask {
+			maskCol = "dense"
+		}
 		t.Rows = append(t.Rows, []string{
-			fmt.Sprintf("%d", tw),
+			fmt.Sprintf("%d", v.tw),
+			maskCol,
 			fmt.Sprintf("%d", res.Tiles),
 			fmt.Sprintf("%d", occupied),
 			fmt.Sprintf("%d", len(res.Shots)),
 			wall.Round(time.Millisecond).String(),
 			fmt.Sprintf("%.2fx", float64(baseWall)/float64(wall)),
+			fmtBytes(res.PeakBytes),
 			identical,
 		})
 	}
 	return t, nil
+}
+
+// fmtBytes renders a byte count as a compact human-readable figure.
+func fmtBytes(b int64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.2f GB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.2f MB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1f KB", float64(b)/(1<<10))
+	}
+	return fmt.Sprintf("%d B", b)
 }
 
 // sameShots reports byte-identical shot lists.

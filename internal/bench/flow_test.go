@@ -5,8 +5,9 @@ import (
 	"testing"
 )
 
-// The flow exhibit must sweep every worker count, keep the stitched shot
-// list identical across them, and report a non-empty tile profile.
+// The flow exhibit must sweep every worker count plus a dense-mask
+// contrast row, keep the stitched shot list identical across them, and
+// report a non-empty tile profile with the peak-memory column filled.
 func TestFlowTable(t *testing.T) {
 	r, err := NewRunner(Options{GridN: 128, KOpt: 3})
 	if err != nil {
@@ -25,24 +26,55 @@ func TestFlowTable(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tab.Rows) != 2 {
-		t.Fatalf("rows = %d, want 2", len(tab.Rows))
+	if len(tab.Rows) != 3 { // two streamed sweeps + one dense-mask contrast
+		t.Fatalf("rows = %d, want 3", len(tab.Rows))
 	}
+	const (
+		colMask      = 1
+		colTiles     = 2
+		colPeak      = 7
+		colIdentical = 8
+	)
 	for i, row := range tab.Rows {
 		if len(row) != len(tab.Header) {
 			t.Fatalf("row %d has %d cells, want %d", i, len(row), len(tab.Header))
 		}
-		if row[1] != "4" { // 128 grid / 64 core → 2×2 tiles
-			t.Fatalf("row %d tiles = %s, want 4", i, row[1])
+		if row[colTiles] != "4" { // 128 grid / 64 core → 2×2 tiles
+			t.Fatalf("row %d tiles = %s, want 4", i, row[colTiles])
+		}
+		if row[colPeak] == "" || row[colPeak] == "0 B" {
+			t.Fatalf("row %d peak-mem column empty: %q", i, row[colPeak])
 		}
 	}
-	if tab.Rows[0][6] != "baseline" {
-		t.Fatalf("first row identical column = %q", tab.Rows[0][6])
+	if tab.Rows[0][colIdentical] != "baseline" {
+		t.Fatalf("first row identical column = %q", tab.Rows[0][colIdentical])
 	}
-	if tab.Rows[1][6] != "yes" {
-		t.Fatalf("tile-workers=4 run not identical to baseline: %q", tab.Rows[1][6])
+	for _, i := range []int{1, 2} {
+		if tab.Rows[i][colIdentical] != "yes" {
+			t.Fatalf("row %d not identical to baseline: %q", i, tab.Rows[i][colIdentical])
+		}
 	}
-	if !strings.Contains(tab.Format(), "tile-workers") {
-		t.Fatal("formatted table missing header")
+	if tab.Rows[0][colMask] != "streamed" || tab.Rows[2][colMask] != "dense" {
+		t.Fatalf("mask columns = %q, %q", tab.Rows[0][colMask], tab.Rows[2][colMask])
+	}
+	if !strings.Contains(tab.Format(), "peak-mem") {
+		t.Fatal("formatted table missing peak-mem header")
+	}
+}
+
+func TestFmtBytes(t *testing.T) {
+	cases := []struct {
+		in   int64
+		want string
+	}{
+		{512, "512 B"},
+		{8 << 10, "8.0 KB"},
+		{3 << 20, "3.00 MB"},
+		{5 << 30, "5.00 GB"},
+	}
+	for _, c := range cases {
+		if got := fmtBytes(c.in); got != c.want {
+			t.Errorf("fmtBytes(%d) = %q, want %q", c.in, got, c.want)
+		}
 	}
 }

@@ -1,0 +1,106 @@
+package bench
+
+import (
+	"encoding/json"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cfaopc/internal/fracture"
+	"cfaopc/internal/geom"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/golden_suite.json from the current pipeline")
+
+// goldenCase pins one suite case's metric quadruple.
+type goldenCase struct {
+	Name  string  `json:"name"`
+	L2    float64 `json:"l2_nm2"`
+	PVB   float64 `json:"pvb_nm2"`
+	EPE   int     `json:"epe"`
+	Shots int     `json:"shots"`
+}
+
+const goldenPath = "testdata/golden_suite.json"
+
+// runGoldenSuite fractures each suite target with CircleRule (the paper's
+// Algorithm 1, no iterative optimization — fully deterministic) and scores
+// the reconstructed circular mask at the three process corners.
+func runGoldenSuite(t *testing.T) []goldenCase {
+	t.Helper()
+	r, err := NewRunner(Options{GridN: 128, KOpt: 3, SampleDistNM: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]goldenCase, 0, len(r.Suite))
+	for ci, l := range r.Suite {
+		shots := fracture.CircleRule(r.Targets[ci], r.ruleConfig(r.Opt.SampleDistNM))
+		rec := geom.RasterizeCircles(r.Sim.N, r.Sim.N, shots)
+		rep := r.EvaluateMask(ci, rec, len(shots))
+		out = append(out, goldenCase{Name: l.Name, L2: rep.L2, PVB: rep.PVB, EPE: rep.EPE, Shots: rep.Shots})
+	}
+	return out
+}
+
+// TestGoldenSuiteCircleRule is the end-to-end regression pin: rasterize →
+// CircleRule fracture → circle reconstruction → three-corner simulation →
+// L2/PVB/EPE/shot metrics over the full ten-case suite, compared against
+// testdata/golden_suite.json. Any change to the rasterizer, the fracturer,
+// the optics stack or the metrics shows up here as a diff against the
+// recorded numbers. Regenerate deliberately with:
+//
+//	go test ./internal/bench -run TestGoldenSuiteCircleRule -update
+//
+// Skipped under -short (it simulates ten chips), so the race CI job stays
+// fast; the coverage job runs it in full.
+func TestGoldenSuiteCircleRule(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden suite simulates ten chips; skipped in -short")
+	}
+	got := runGoldenSuite(t)
+	if *updateGolden {
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s with %d cases", goldenPath, len(got))
+		return
+	}
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	var want []goldenCase
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%d cases, golden file has %d", len(got), len(want))
+	}
+	// L2/PVB are pixel counts × dx² — exact in float64 — but a relative
+	// tolerance keeps the pin robust to benign float reassociation if the
+	// simulation's reduction order ever changes platform to platform.
+	const relTol = 1e-6
+	closeEnough := func(a, b float64) bool {
+		return math.Abs(a-b) <= relTol*math.Max(math.Abs(a), math.Abs(b))
+	}
+	for i, g := range got {
+		w := want[i]
+		if g.Name != w.Name {
+			t.Errorf("case %d name %q, golden %q", i, g.Name, w.Name)
+			continue
+		}
+		if !closeEnough(g.L2, w.L2) || !closeEnough(g.PVB, w.PVB) || g.EPE != w.EPE || g.Shots != w.Shots {
+			t.Errorf("case %q: L2 %.1f PVB %.1f EPE %d shots %d, golden L2 %.1f PVB %.1f EPE %d shots %d",
+				g.Name, g.L2, g.PVB, g.EPE, g.Shots, w.L2, w.PVB, w.EPE, w.Shots)
+		}
+	}
+}

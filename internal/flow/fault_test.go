@@ -265,6 +265,7 @@ func sameResult(t *testing.T, got, want *Result) {
 	for i := range got.TileStats {
 		g, w := got.TileStats[i], want.TileStats[i]
 		g.Wall, w.Wall = 0, 0
+		g.RasterWall, w.RasterWall = 0, 0
 		g.Resumed, w.Resumed = false, false
 		if g != w {
 			t.Fatalf("stat %d differs: %+v vs %+v", i, g, w)
@@ -285,22 +286,30 @@ func TestFaultDeterminismAndResume(t *testing.T) {
 		1: {{Panic: true}},              // recovers on retry
 		3: {{NaN: true}, {Panic: true}}, // exhausts retries, lands on fallback
 	}
-	mkCfg := func() Config {
+	mkCfg := func(w MaskWriter) Config {
 		cfg := faultConfig()
 		cfg.TileRetries = 1
 		cfg.TileWorkers = 1 // serial: the cancel point below is deterministic
 		cfg.Fallback = ruleFallback()
 		cfg.Optimize = InjectFaults(cfg.Optimize, plan)
+		cfg.MaskWriter = w // every run also streams bands, resumed or not
 		return cfg
 	}
 
 	// Reference: uninterrupted faulted run, no checkpoint.
-	ref, err := Run(l, mkCfg())
+	refColl := NewMaskCollector(testConfig().GridN)
+	ref, err := Run(l, mkCfg(refColl))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if ref.Retried != 1 || ref.Fallbacks != 1 {
 		t.Fatalf("reference summary: %+v", ref)
+	}
+	if ref.Mask.SqDiff(refColl.Mask) != 0 {
+		t.Fatal("reference streamed bands differ from the dense mask")
+	}
+	if ref.PeakBytes <= 0 {
+		t.Fatalf("reference PeakBytes = %d", ref.PeakBytes)
 	}
 
 	// Interrupted run: cancel the moment tile 2 starts optimizing, so
@@ -308,7 +317,7 @@ func TestFaultDeterminismAndResume(t *testing.T) {
 	ckpt := filepath.Join(t.TempDir(), "run.ckpt")
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
-	cfg := mkCfg()
+	cfg := mkCfg(NewMaskCollector(testConfig().GridN))
 	cfg.CheckpointPath = ckpt
 	inner := cfg.Optimize
 	cfg.Optimize = func(sim *litho.Simulator, target *grid.Real) (*grid.Real, []geom.Circle) {
@@ -333,8 +342,11 @@ func TestFaultDeterminismAndResume(t *testing.T) {
 	}
 	f.Close()
 
-	// Resume with the plain faulted optimizer.
-	cfg = mkCfg()
+	// Resume with the plain faulted optimizer. The resumed run streams its
+	// own complete band sequence (replayed tiles feed the assembler like
+	// computed ones), byte-identical to the uninterrupted run's.
+	resColl := NewMaskCollector(testConfig().GridN)
+	cfg = mkCfg(resColl)
 	cfg.CheckpointPath = ckpt
 	res, err := Run(l, cfg)
 	if err != nil {
@@ -349,8 +361,15 @@ func TestFaultDeterminismAndResume(t *testing.T) {
 		}
 	}
 	sameResult(t, res, ref)
+	if resColl.Mask.SqDiff(refColl.Mask) != 0 {
+		t.Fatal("resumed run's streamed bands differ from the uninterrupted run's")
+	}
 
-	// A third run replays everything and recomputes nothing.
+	// A third run replays everything and recomputes nothing — including a
+	// full band sequence built purely from the journal.
+	replayColl := NewMaskCollector(testConfig().GridN)
+	cfg = mkCfg(replayColl)
+	cfg.CheckpointPath = ckpt
 	res2, err := Run(l, cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -359,6 +378,9 @@ func TestFaultDeterminismAndResume(t *testing.T) {
 		t.Fatalf("full replay resumed %d tiles, want 4", res2.Resumed)
 	}
 	sameResult(t, res2, ref)
+	if replayColl.Mask.SqDiff(refColl.Mask) != 0 {
+		t.Fatal("replayed run's streamed bands differ from the uninterrupted run's")
+	}
 }
 
 // TestCheckpointConfigMismatch refuses to resume a journal written for a

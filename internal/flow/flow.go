@@ -6,6 +6,15 @@
 // This is the standard halo-and-stitch deployment of tile-based ILT on
 // full-chip layouts.
 //
+// The flow is memory-bounded end to end: window targets are rasterized
+// on demand from a row-bucketed span index over the rect geometry
+// (layout.WindowIndex), never from a dense full-grid raster, and the
+// stitched mask is opt-in — Config.KeepMask materializes the dense
+// GridN² grid, Config.MaskWriter streams it as row bands instead, and
+// with neither set the shot list is the only output. Peak flow memory
+// scales with the window size and worker count, not GridN²
+// (Result.PeakBytes makes that observable).
+//
 // Windows are independent, so Run distributes them over a bounded pool of
 // tile workers (Config.TileWorkers), each owning a private
 // litho.Simulator. Kernel sets are shared read-only through the optics
@@ -103,6 +112,19 @@ type Config struct {
 	// The journal is bound to the (layout, tiling) fingerprint: reusing a
 	// path across different runs is an error, not silent corruption.
 	CheckpointPath string
+
+	// KeepMask materializes Result.Mask, a dense GridN² re-rasterization
+	// of the stitched shot list. The shot list is the primary output; on
+	// real full-chip grids the dense mask is the memory ceiling, so it is
+	// opt-in. Leave it false and set MaskWriter to stream the mask in
+	// O(GridN·CorePx) bands instead.
+	KeepMask bool
+	// MaskWriter, when non-nil, receives the stitched mask as ordered
+	// horizontal bands (one per tile row) whose concatenation is
+	// byte-identical to the KeepMask dense mask. With RMaxPx set, bands
+	// stream out as their contributing tile rows complete; without a
+	// radius bound they are all emitted when the last tile finishes.
+	MaskWriter MaskWriter
 }
 
 // Outcome paths recorded in TileStat.Path.
@@ -119,6 +141,10 @@ type TileStat struct {
 	Occupied bool          // window held target geometry and was optimized
 	Shots    int           // core-owned shots kept from this window
 	Wall     time.Duration // wall time spent on this window
+	// RasterWall is the slice of Wall spent rasterizing the window target
+	// from the rect geometry (the streaming replacement for extracting it
+	// out of a full-grid raster).
+	RasterWall time.Duration
 
 	Attempts int    // optimizer invocations (primary + fallback); 0 if unoccupied
 	Path     string // outcome path: PathPrimary / PathFallback / PathEmpty ("" if unoccupied)
@@ -128,7 +154,10 @@ type TileStat struct {
 
 // Result is the stitched output.
 type Result struct {
-	Mask      *grid.Real    // full-grid mask re-rasterized from the shots
+	// Mask is the full-grid mask re-rasterized from the shots — nil
+	// unless Config.KeepMask asked for it (streamed runs never hold a
+	// dense full-grid mask).
+	Mask      *grid.Real
 	Shots     []geom.Circle // full-grid shot list
 	Tiles     int           // number of windows optimized
 	TileStats []TileStat    // per-window records in row-major order
@@ -137,6 +166,14 @@ type Result struct {
 	Fallbacks int // tiles that degraded to the Fallback optimizer
 	Empty     int // tiles degraded to empty after every optimizer failed
 	Resumed   int // tiles replayed from the checkpoint journal
+
+	// PeakBytes estimates the peak bytes of flow-owned buffers held
+	// resident during the run: the layout span index, one window target
+	// per tile worker, the in-flight mask band (when streaming), the
+	// dense mask (when kept) and the stitched shot list. Optimizer- and
+	// simulator-internal allocations are not counted; the estimate's job
+	// is to make the O(window²) vs O(GridN²) scaling observable.
+	PeakBytes int64
 }
 
 // tileWorkerCount resolves the effective tile parallelism.
@@ -273,16 +310,18 @@ func attemptTile(ctx context.Context, sim *litho.Simulator, opt Optimizer, targe
 	return shots, nil
 }
 
-// runTile extracts, optimizes and filters one window, degrading through
-// retry → fallback → empty instead of failing the run. When ctx is
+// runTile rasterizes, optimizes and filters one window, degrading
+// through retry → fallback → empty instead of failing the run. The
+// window target is rasterized on demand from the layout's span index —
+// the streaming path; no full-grid raster exists anywhere. When ctx is
 // canceled the tile is abandoned (stat.Path stays empty); Run turns that
 // into ctx.Err() for the whole run.
-func runTile(ctx context.Context, sim *litho.Simulator, full *grid.Real, cfg Config, j tileJob, window int) tileOut {
+func runTile(ctx context.Context, sim *litho.Simulator, ix *layout.WindowIndex, cfg Config, j tileJob, window int) tileOut {
 	start := time.Now()
 	ox := j.cx - cfg.HaloPx
 	oy := j.cy - cfg.HaloPx
-	target, occupied := extractWindow(full, ox, oy, window)
-	out := tileOut{stat: TileStat{Index: j.index, CX: j.cx, CY: j.cy, Occupied: occupied}}
+	target, occupied := ix.Window(ox, oy, window, window)
+	out := tileOut{stat: TileStat{Index: j.index, CX: j.cx, CY: j.cy, Occupied: occupied, RasterWall: time.Since(start)}}
 	defer func() { out.stat.Wall = time.Since(start) }()
 	if !occupied {
 		return out
@@ -386,7 +425,14 @@ func RunContext(ctx context.Context, l *layout.Layout, cfg Config) (*Result, err
 		}
 	}
 	nTiles := len(jobs)
+	cols := (cfg.GridN + cfg.CorePx - 1) / cfg.CorePx
+	rows := nTiles / cols
 	outs := make([]tileOut, nTiles)
+
+	var asm *bandAssembler
+	if cfg.MaskWriter != nil {
+		asm = newBandAssembler(cfg.GridN, cfg.CorePx, rows, cols, cfg.RMaxPx, cfg.MaskWriter)
+	}
 
 	// Replay the checkpoint journal (if any) and drop finished tiles from
 	// the job list before sizing the pool.
@@ -426,6 +472,15 @@ func RunContext(ctx context.Context, l *layout.Layout, cfg Config) (*Result, err
 			}
 			jobs = remaining
 		}
+		// Replayed tiles count toward band completion exactly like
+		// recomputed ones, so streamed bands work across resume.
+		if asm != nil {
+			for idx := 0; idx < nTiles; idx++ {
+				if done[idx] {
+					asm.tileDone(idx/cols, outs[idx].shots)
+				}
+			}
+		}
 	}
 	workers := tileWorkerCount(cfg.TileWorkers, len(jobs))
 
@@ -442,7 +497,9 @@ func RunContext(ctx context.Context, l *layout.Layout, cfg Config) (*Result, err
 		sims[i] = sim
 	}
 
-	full := l.Rasterize(cfg.GridN)
+	// Streaming path: no full-grid raster is ever allocated. Workers
+	// rasterize each window on demand from the row-bucketed span index.
+	ix := layout.NewWindowIndex(l, cfg.GridN)
 	jobCh := make(chan tileJob)
 	journalErr := make(chan error, 1)
 	var wg sync.WaitGroup
@@ -454,8 +511,11 @@ func RunContext(ctx context.Context, l *layout.Layout, cfg Config) (*Result, err
 				if ctx.Err() != nil {
 					continue // drain without work so the feeder never blocks
 				}
-				out := runTile(ctx, sim, full, cfg, j, window)
+				out := runTile(ctx, sim, ix, cfg, j, window)
 				outs[j.index] = out
+				if asm != nil && ctx.Err() == nil {
+					asm.tileDone(j.index/cols, out.shots)
+				}
 				if journal != nil && ctx.Err() == nil {
 					var buf bytes.Buffer
 					err := gob.NewEncoder(&buf).Encode(tileRecord{Shots: out.shots, Stat: out.stat})
@@ -490,6 +550,13 @@ feed:
 		return nil, fmt.Errorf("flow: checkpoint append: %w", err)
 	default:
 	}
+	if asm != nil {
+		// Every tile has completed, so this drains the remaining bands in
+		// order and surfaces any writer error from mid-run emissions.
+		if err := asm.finish(); err != nil {
+			return nil, fmt.Errorf("flow: mask writer: %w", err)
+		}
+	}
 
 	// Ordered reduce: row-major tile order regardless of completion order.
 	res := &Result{Tiles: nTiles, TileStats: make([]TileStat, 0, nTiles), Resumed: resumed}
@@ -508,6 +575,27 @@ feed:
 			res.Empty++
 		}
 	}
-	res.Mask = geom.RasterizeCircles(cfg.GridN, cfg.GridN, res.Shots)
+	if cfg.KeepMask {
+		res.Mask = geom.RasterizeCircles(cfg.GridN, cfg.GridN, res.Shots)
+	}
+	res.PeakBytes = estimatePeakBytes(cfg, window, workers, ix.Bytes(), len(res.Shots))
 	return res, nil
+}
+
+// estimatePeakBytes adds up the flow-owned buffers documented on
+// Result.PeakBytes. Per-worker window targets dominate on the streaming
+// path; KeepMask reintroduces the GridN² term the streaming path exists
+// to avoid.
+func estimatePeakBytes(cfg Config, window, workers int, indexBytes int64, shots int) int64 {
+	const f64 = 8
+	peak := indexBytes
+	peak += int64(workers) * int64(window) * int64(window) * f64
+	if cfg.MaskWriter != nil {
+		peak += int64(cfg.GridN) * int64(cfg.CorePx) * f64 // one band in flight
+	}
+	if cfg.KeepMask {
+		peak += int64(cfg.GridN) * int64(cfg.GridN) * f64
+	}
+	peak += int64(shots) * 24 // geom.Circle{X, Y, R}
+	return peak
 }

@@ -43,6 +43,7 @@ func testConfig() Config {
 		Optics:   o,
 		KOpt:     4,
 		Optimize: circleOptimizer(8),
+		KeepMask: true, // most tests inspect the dense stitched mask
 	}
 }
 

@@ -47,6 +47,51 @@ func RasterizeCircles(w, h int, cs []Circle) *grid.Real {
 	return m
 }
 
+// RasterizeCirclesBand paints the union of circles onto an h-row band of
+// a w-column grid whose top row is global row y0: band pixel (x, y-y0)
+// is set when grid pixel (x, y) lies within R of a circle center. The
+// per-pixel predicate is identical to RasterizeCircles, so the vertical
+// concatenation of bands reproduces the full-grid mask byte for byte —
+// the memory-bounded form the streaming flow emits. Circles whose
+// bounding box misses the band are skipped.
+func RasterizeCirclesBand(w, h, y0 int, cs []Circle) *grid.Real {
+	m := grid.NewReal(w, h)
+	for _, c := range cs {
+		r := c.R
+		if r <= 0 {
+			continue
+		}
+		bx0 := int(c.X - r - 1)
+		bx1 := int(c.X + r + 1)
+		by0 := int(c.Y - r - 1)
+		by1 := int(c.Y + r + 1)
+		if bx0 < 0 {
+			bx0 = 0
+		}
+		if bx1 >= w {
+			bx1 = w - 1
+		}
+		if by0 < y0 {
+			by0 = y0
+		}
+		if by1 >= y0+h {
+			by1 = y0 + h - 1
+		}
+		r2 := r * r
+		for y := by0; y <= by1; y++ {
+			dy := float64(y) - c.Y
+			row := m.Data[(y-y0)*w:]
+			for x := bx0; x <= bx1; x++ {
+				dx := float64(x) - c.X
+				if dx*dx+dy*dy <= r2 {
+					row[x] = 1
+				}
+			}
+		}
+	}
+	return m
+}
+
 // CoverRate returns |C ∩ A| / |C| — the fraction of the circle's area
 // that falls on foreground of region (line 20 of Algorithm 1). Pixels are
 // supersampled 2×2 so the rate varies smoothly with the radius even on

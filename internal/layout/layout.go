@@ -63,27 +63,21 @@ func (l *Layout) Validate() error {
 }
 
 // Rasterize samples the layout onto an n×n grid covering the full tile:
-// a pixel is foreground when its center lies inside a rectangle. At 1
-// nm/px this reproduces the polygon area exactly.
+// a pixel is foreground when its center lies inside a rectangle (centers
+// at (i+0.5)·dx ∈ [X, X+W)). At 1 nm/px this reproduces the polygon area
+// exactly. RasterizeWindow produces any sub-window of this grid without
+// allocating it.
 func (l *Layout) Rasterize(n int) *grid.Real {
 	if n <= 0 {
 		panic(fmt.Sprintf("layout: invalid grid size %d", n))
 	}
 	m := grid.NewReal(n, n)
-	dx := float64(l.TileNM) / float64(n)
 	for _, r := range l.Rects {
-		// Pixel centers at (i+0.5)·dx ∈ [X, X+W).
-		x0 := int(ceilDiv(float64(r.X), dx))
-		x1 := int(ceilDiv(float64(r.X+r.W), dx))
-		y0 := int(ceilDiv(float64(r.Y), dx))
-		y1 := int(ceilDiv(float64(r.Y+r.H), dx))
-		for y := y0; y < y1 && y < n; y++ {
-			for x := x0; x < x1 && x < n; x++ {
-				if x >= 0 && y >= 0 {
-					m.Data[y*n+x] = 1
-				}
-			}
+		s, ok := l.span(r, n)
+		if !ok {
+			continue
 		}
+		fillSpan(m, s, 0, 0)
 	}
 	return m
 }
