@@ -40,90 +40,17 @@ import (
 	"time"
 
 	"cfaopc/internal/bench"
-	"cfaopc/internal/core"
+	"cfaopc/internal/engine"
 	"cfaopc/internal/flow"
 	"cfaopc/internal/fracture"
 	"cfaopc/internal/gds"
 	"cfaopc/internal/geom"
 	"cfaopc/internal/grid"
-	"cfaopc/internal/ilt"
 	"cfaopc/internal/layout"
 	"cfaopc/internal/litho"
 	"cfaopc/internal/metrics"
 	"cfaopc/internal/optics"
 )
-
-// optimizerFor adapts a named method to the flow.Optimizer signature, so
-// the same dispatch serves the single-window path and the tiled flow.
-// Resolution-dependent settings derive from the simulator each call sees.
-func optimizerFor(method string, iters int, gamma, sampleNM float64) (flow.Optimizer, error) {
-	ruleFor := func(sim *litho.Simulator) fracture.CircleRuleConfig {
-		cfg := fracture.DefaultCircleRuleConfig(sim.DX)
-		cfg.SampleDist = max(1, int(sampleNM/sim.DX))
-		return cfg
-	}
-	switch strings.ToLower(method) {
-	case "circlerule":
-		// No optimization at all: rule-based circle fracturing of the
-		// rasterized target. The cheapest engine here, and the default
-		// graceful-degradation fallback for the tiled flow.
-		return func(sim *litho.Simulator, target *grid.Real) (*grid.Real, []geom.Circle) {
-			shots := fracture.CircleRule(target, ruleFor(sim))
-			return geom.RasterizeCircles(sim.N, sim.N, shots), shots
-		}, nil
-	case "circleopt":
-		return func(sim *litho.Simulator, target *grid.Real) (*grid.Real, []geom.Circle) {
-			coCfg := core.DefaultConfig(sim.DX)
-			coCfg.Iterations = iters
-			coCfg.Gamma = gamma / sim.DX // flag is in the paper's 1 nm/px scale
-			res := (&core.CircleOpt{Cfg: coCfg, RuleCfg: ruleFor(sim)}).Optimize(sim, target)
-			return res.Mask, res.Shots
-		}, nil
-	case "doseopt":
-		return func(sim *litho.Simulator, target *grid.Real) (*grid.Real, []geom.Circle) {
-			coCfg := core.DefaultConfig(sim.DX)
-			coCfg.Iterations = iters
-			coCfg.Gamma = gamma / sim.DX
-			res := (&core.DoseOpt{Cfg: coCfg, RuleCfg: ruleFor(sim)}).Optimize(sim, target)
-			shots := make([]geom.Circle, 0, len(res.Shots))
-			for _, ds := range res.Shots {
-				shots = append(shots, ds.Circle)
-			}
-			return res.Mask, shots
-		}, nil
-	case "greedy":
-		return func(sim *litho.Simulator, target *grid.Real) (*grid.Real, []geom.Circle) {
-			iltCfg := ilt.DefaultConfig()
-			iltCfg.Iterations = iters
-			pixel := (&ilt.MultiLevel{Cfg: iltCfg}).Optimize(sim, target)
-			rule := ruleFor(sim)
-			shots := fracture.GreedyCircles(pixel, fracture.GreedyCircleConfig{
-				RMin: rule.RMin, RMax: rule.RMax, CoverThreshold: rule.CoverThreshold,
-			})
-			return geom.RasterizeCircles(sim.N, sim.N, shots), shots
-		}, nil
-	case "develset", "neuralilt", "multiilt":
-		mk := func() ilt.Engine {
-			iltCfg := ilt.DefaultConfig()
-			iltCfg.Iterations = iters
-			switch strings.ToLower(method) {
-			case "develset":
-				return &ilt.LevelSet{Cfg: iltCfg}
-			case "neuralilt":
-				return &ilt.CycleILT{Cfg: iltCfg}
-			default:
-				return &ilt.MultiLevel{Cfg: iltCfg}
-			}
-		}
-		return func(sim *litho.Simulator, target *grid.Real) (*grid.Real, []geom.Circle) {
-			pixel := mk().Optimize(sim, target)
-			shots := fracture.CircleRule(pixel, ruleFor(sim))
-			return geom.RasterizeCircles(sim.N, sim.N, shots), shots
-		}, nil
-	default:
-		return nil, fmt.Errorf("unknown method %q", method)
-	}
-}
 
 func main() {
 	log.SetFlags(0)
@@ -143,15 +70,50 @@ func main() {
 		tileHalo    = flag.Int("tile-halo", 32, "tiled flow: halo context px around each core")
 		tileWorkers = flag.Int("tile-workers", 1, "tiled flow: concurrent windows (-1 = all cores); output is identical at any count")
 		tileTimeout = flag.Duration("tile-timeout", 0, "tiled flow: per-tile optimizer attempt deadline (0 = none)")
+		stallTO     = flag.Duration("stall-timeout", 0, "tiled flow: kill an attempt whose optimizer heartbeats stop for this long (0 = none; must not exceed -tile-timeout)")
 		tileRetries = flag.Int("tile-retries", 1, "tiled flow: extra attempts for a failed tile before degrading")
 		fallback    = flag.String("fallback", "circlerule", "tiled flow: degraded-tile method (any -method value, or 'none')")
 		ckptPath    = flag.String("checkpoint", "", "tiled flow: journal completed tiles here and resume from it")
+		ckptCompact = flag.Bool("checkpoint-compact", false, "compact the -checkpoint journal (drop superseded records) and exit without optimizing")
+		partialEvry = flag.Int("partial-every", 0, "tiled flow: journal mid-tile optimizer snapshots every N iterations (0 = off; needs -checkpoint)")
+		quarDir     = flag.String("quarantine-dir", "", "tiled flow: write a repro bundle here for every tile that degrades to empty (replay with cmd/replaytile)")
 		stream      = flag.Bool("stream", false, "tiled flow: memory-bounded run — never materialize the dense stitched mask (skips the aerial-image metrics; shot list stays the output)")
 		maskOut     = flag.String("mask-out", "", "tiled flow: stream the stitched mask to this PGM file in row bands (works with or without -stream)")
 		compact     = flag.Bool("compact", false, "remove shots that are redundant for the final union (print-identical)")
 		outDir      = flag.String("out", "out", "output directory")
 	)
 	flag.Parse()
+
+	// Reject incoherent flag combinations before any expensive work, with
+	// the fix spelled out — a full-chip run should not die hours in on a
+	// config error that was visible at launch.
+	switch {
+	case *stallTO < 0:
+		log.Fatal("-stall-timeout must be >= 0")
+	case *stallTO > 0 && *tileTimeout > 0 && *stallTO > *tileTimeout:
+		log.Fatalf("-stall-timeout %s exceeds -tile-timeout %s: the wall deadline would always fire first; lower -stall-timeout or raise -tile-timeout", *stallTO, *tileTimeout)
+	case *stallTO > 0 && *tileCore <= 0:
+		log.Fatal("-stall-timeout needs the tiled flow; set -tile-core > 0")
+	case *partialEvry < 0:
+		log.Fatal("-partial-every must be >= 0")
+	case *partialEvry > 0 && *ckptPath == "":
+		log.Fatal("-partial-every journals mid-tile snapshots and needs -checkpoint <path>")
+	case *ckptCompact && *ckptPath == "":
+		log.Fatal("-checkpoint-compact needs -checkpoint <path> naming the journal to compact")
+	case *quarDir != "" && *tileCore <= 0:
+		log.Fatal("-quarantine-dir needs the tiled flow; set -tile-core > 0")
+	}
+	if *quarDir != "" {
+		// Probe writability now, not at the first quarantined tile.
+		if err := os.MkdirAll(*quarDir, 0o755); err != nil {
+			log.Fatalf("-quarantine-dir: %v", err)
+		}
+		probe := filepath.Join(*quarDir, ".cfaopc-probe")
+		if err := os.WriteFile(probe, nil, 0o644); err != nil {
+			log.Fatalf("-quarantine-dir is not writable: %v", err)
+		}
+		os.Remove(probe)
+	}
 
 	// SIGINT/SIGTERM cancels the run cooperatively: in-flight tiles stop
 	// within one kernel convolution, checkpointed tiles stay on disk.
@@ -181,9 +143,33 @@ func main() {
 		log.Fatal("need -case 1..10 or -layout file.glp")
 	}
 
-	optimize, err := optimizerFor(*method, *iters, *gamma, *sampleNM)
+	engOpts := engine.Options{Iters: *iters, Gamma: *gamma, SampleNM: *sampleNM}
+	optimize, err := engine.For(*method, engOpts)
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	if *ckptCompact {
+		// Maintenance mode: rewrite the journal dropping superseded
+		// records (duplicate tiles, stale partial snapshots), then exit.
+		// The tiling flags must match the run that wrote the journal —
+		// the fingerprint check enforces that.
+		if *tileCore <= 0 {
+			log.Fatal("-checkpoint-compact needs the original run's tiling flags (-tile-core > 0)")
+		}
+		dx := float64(l.TileNM) / float64(*gridN)
+		stats, err := flow.CompactCheckpoint(l, flow.Config{
+			GridN: *gridN, CorePx: *tileCore, HaloPx: *tileHalo,
+			Optics: optics.Default(), KOpt: *kOpt, TileRetries: *tileRetries,
+			RMinPx: 6 / dx, RMaxPx: 152 / dx,
+			CheckpointPath: *ckptPath,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("compacted %s: kept %d records, dropped %d, %d -> %d bytes\n",
+			*ckptPath, stats.Kept, stats.Dropped, stats.BytesBefore, stats.BytesAfter)
+		return
 	}
 
 	// Full-grid simulator: optimization target in single-window mode, and
@@ -203,16 +189,19 @@ func main() {
 	if *tileCore > 0 {
 		var bandFile *pgmBandWriter
 		fCfg := flow.Config{
-			GridN:       *gridN,
-			CorePx:      *tileCore,
-			HaloPx:      *tileHalo,
-			Optics:      optics.Default(),
-			KOpt:        *kOpt,
-			Workers:     *workers,
-			TileWorkers: *tileWorkers,
-			Optimize:    optimize,
-			TileRetries: *tileRetries,
-			TileTimeout: *tileTimeout,
+			GridN:         *gridN,
+			CorePx:        *tileCore,
+			HaloPx:        *tileHalo,
+			Optics:        optics.Default(),
+			KOpt:          *kOpt,
+			Workers:       *workers,
+			TileWorkers:   *tileWorkers,
+			Optimize:      optimize,
+			TileRetries:   *tileRetries,
+			TileTimeout:   *tileTimeout,
+			StallTimeout:  *stallTO,
+			PartialEvery:  *partialEvry,
+			QuarantineDir: *quarDir,
 			// Validation bounds follow the MRC radius window (12–76 nm),
 			// scaled to window-grid pixels with a tolerance band so
 			// borderline-legal shots degrade via MRC reporting, not
@@ -232,13 +221,18 @@ func main() {
 			}
 			fCfg.MaskWriter = bandFile
 		}
+		fbName := ""
 		if *fallback != "" && !strings.EqualFold(*fallback, "none") {
-			fb, err := optimizerFor(*fallback, *iters, *gamma, *sampleNM)
+			fb, err := engine.For(*fallback, engOpts)
 			if err != nil {
 				log.Fatalf("-fallback: %v", err)
 			}
 			fCfg.Fallback = fb
+			fbName = *fallback
 		}
+		// Engine metadata rides into quarantine bundles so replaytile can
+		// rebuild this exact optimizer chain offline.
+		fCfg.Engines = engine.Meta(*method, fbName, engOpts)
 		res, err := flow.RunContext(ctx, l, fCfg)
 		if err != nil {
 			log.Fatal(err)
@@ -272,12 +266,18 @@ func main() {
 			if ts.Attempts > 1 {
 				note += fmt.Sprintf("  [%d attempts: %s]", ts.Attempts, ts.Failure)
 			}
+			if ts.Stalled {
+				note += "  [stalled]"
+			}
+			if ts.Bundle != "" {
+				note += "  [quarantined: " + ts.Bundle + "]"
+			}
 			fmt.Printf("  tile %2d core(%3d,%3d): shots %3d  wall %s%s\n",
 				ts.Index, ts.CX, ts.CY, ts.Shots, ts.Wall.Round(time.Millisecond), note)
 		}
-		if res.Retried+res.Fallbacks+res.Empty+res.Resumed > 0 {
-			fmt.Printf("faults: %d retried, %d fallback, %d empty, %d resumed from checkpoint\n",
-				res.Retried, res.Fallbacks, res.Empty, res.Resumed)
+		if res.Retried+res.Fallbacks+res.Empty+res.Resumed+res.Stalled > 0 {
+			fmt.Printf("faults: %d retried, %d fallback, %d empty, %d resumed from checkpoint, %d stalled, %d quarantined\n",
+				res.Retried, res.Fallbacks, res.Empty, res.Resumed, res.Stalled, res.Quarantined)
 		}
 	} else {
 		mask, shots = optimize(sim, target)

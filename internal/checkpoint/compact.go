@@ -1,0 +1,103 @@
+package checkpoint
+
+import (
+	"fmt"
+	"os"
+)
+
+// CompactStats reports what a Compact pass did.
+type CompactStats struct {
+	Kept        int   // records surviving into the compacted journal
+	Dropped     int   // superseded records removed
+	BytesBefore int64 // journal size before, including magic and header
+	BytesAfter  int64
+}
+
+// Compact rewrites the journal at path keeping only the LAST record for
+// each key, in first-appearance order of the surviving keys. keyOf maps
+// a record payload to its supersession key (e.g. the tile index, so a
+// tile's completion record supersedes its partial-progress snapshots);
+// a keyOf error aborts the pass with the original journal untouched.
+//
+// Replay semantics are last-record-wins per key, so resuming from the
+// compacted journal is byte-identical to resuming from the original.
+// The rewrite goes through a temp file + rename, so a crash mid-compact
+// leaves the original journal intact; a torn tail on the input is
+// dropped exactly as Open would drop it.
+func Compact(path string, header []byte, keyOf func(payload []byte) (string, error)) (CompactStats, error) {
+	var stats CompactStats
+	f, err := os.Open(path)
+	if err != nil {
+		return stats, err
+	}
+	gotHeader, payloads, validOff, err := replay(f)
+	f.Close()
+	if err != nil {
+		return stats, err
+	}
+	if !bytesEqual(gotHeader, header) {
+		return stats, fmt.Errorf("%w (path %s)", ErrHeaderMismatch, path)
+	}
+	stats.BytesBefore = validOff
+
+	// Last record per key wins; survivors keep the order in which their
+	// key first appeared, which preserves the original append order for
+	// the common no-duplicates case.
+	last := make(map[string]int, len(payloads))
+	var order []string
+	keys := make([]string, len(payloads))
+	for i, p := range payloads {
+		k, kerr := keyOf(p)
+		if kerr != nil {
+			return stats, kerr
+		}
+		keys[i] = k
+		if _, seen := last[k]; !seen {
+			order = append(order, k)
+		}
+		last[k] = i
+	}
+
+	tmp := path + ".compact.tmp"
+	out, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return stats, err
+	}
+	cleanup := func() { out.Close(); os.Remove(tmp) }
+	if _, err := out.Write(magic); err != nil {
+		cleanup()
+		return stats, err
+	}
+	j := &Journal{f: out}
+	if err := j.Append(header); err != nil {
+		cleanup()
+		return stats, err
+	}
+	for _, k := range order {
+		if err := j.Append(payloads[last[k]]); err != nil {
+			cleanup()
+			return stats, err
+		}
+	}
+	if err := out.Sync(); err != nil {
+		cleanup()
+		return stats, err
+	}
+	st, err := out.Stat()
+	if err != nil {
+		cleanup()
+		return stats, err
+	}
+	if err := out.Close(); err != nil {
+		os.Remove(tmp)
+		return stats, err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return stats, err
+	}
+	stats.Kept = len(order)
+	stats.Dropped = len(payloads) - len(order)
+	stats.BytesAfter = st.Size()
+	return stats, nil
+}

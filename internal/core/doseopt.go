@@ -252,6 +252,7 @@ func (e *DoseOpt) Optimize(sim *litho.Simulator, target *grid.Real) *DoseResult 
 		for i := range dose {
 			dose[i] = opt.Clip(dose[i], 0, dMax)
 		}
+		opt.Beat(sim.Ctx, it, lg.Loss+e.Cfg.Gamma*sparsity)
 	}
 
 	// Final shot list: quantized geometry, doses clipped into the writer's

@@ -1,0 +1,47 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestForKnownNames(t *testing.T) {
+	for _, name := range Names() {
+		if _, err := For(name, Defaults()); err != nil {
+			t.Errorf("For(%q): %v", name, err)
+		}
+	}
+	if _, err := For("no-such-method", Defaults()); err == nil || !strings.Contains(err.Error(), "no-such-method") {
+		t.Fatalf("unknown method: err = %v", err)
+	}
+}
+
+func TestMetaFromMetaRoundTrip(t *testing.T) {
+	m := Meta("CircleOpt", "CircleRule", Defaults())
+	if m.Primary != "circleopt" || m.Fallback != "circlerule" {
+		t.Fatalf("meta not normalized: %+v", m)
+	}
+	p, fb, err := FromMeta(m)
+	if err != nil || p == nil || fb == nil {
+		t.Fatalf("FromMeta: %v (primary %v, fallback %v)", err, p, fb)
+	}
+
+	m.Fallback = "none"
+	if _, fb, err = FromMeta(m); err != nil || fb != nil {
+		t.Fatalf("fallback 'none' should yield nil: %v, %v", fb, err)
+	}
+	m.Fallback = ""
+	if _, fb, err = FromMeta(m); err != nil || fb != nil {
+		t.Fatalf("empty fallback should yield nil: %v, %v", fb, err)
+	}
+
+	m.Primary = "bogus"
+	if _, _, err = FromMeta(m); err == nil {
+		t.Fatal("bogus primary accepted")
+	}
+	m.Primary = "circleopt"
+	m.Fallback = "bogus"
+	if _, _, err = FromMeta(m); err == nil {
+		t.Fatal("bogus fallback accepted")
+	}
+}

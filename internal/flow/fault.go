@@ -9,6 +9,7 @@ import (
 	"cfaopc/internal/geom"
 	"cfaopc/internal/grid"
 	"cfaopc/internal/litho"
+	"cfaopc/internal/opt"
 )
 
 // TileInfo identifies the window an optimizer invocation is serving. The
@@ -35,11 +36,19 @@ func TileInfoFrom(ctx context.Context) (TileInfo, bool) {
 }
 
 // Fault is one injected failure mode for a single optimizer attempt.
-// Fields compose: Sleep runs first, then Panic, then NaN.
+// Fields compose: Stall and Sleep run first, then Panic, then NaN.
 type Fault struct {
 	// Sleep blocks before anything else, respecting the attempt's
 	// context so per-tile timeouts and run cancellation stay prompt.
 	Sleep time.Duration
+	// BeatEvery, when > 0, emits synthetic optimizer heartbeats at that
+	// interval while the injected Sleep runs — the signature of a tile
+	// that is slow but alive, which the stall watchdog must spare.
+	BeatEvery time.Duration
+	// Stall blocks until the attempt's context is canceled without ever
+	// emitting a heartbeat — a wedged optimizer, the failure mode the
+	// stall watchdog (Config.StallTimeout) exists to kill early.
+	Stall bool
 	// Panic aborts the attempt with a panic, exercising the isolation
 	// recover path.
 	Panic bool
@@ -72,13 +81,14 @@ func InjectFaults(opt Optimizer, plan FaultPlan) Optimizer {
 			return opt(sim, target)
 		}
 		f := script[info.Attempt]
+		if f.Stall {
+			// Wedge silently until killed: no heartbeats, no return.
+			<-sim.Ctx.Done()
+			return grid.NewReal(target.W, target.H), nil
+		}
 		if f.Sleep > 0 {
-			t := time.NewTimer(f.Sleep)
-			defer t.Stop()
-			select {
-			case <-t.C:
-			case <-sim.Ctx.Done():
-				// Deadline or cancellation during the injected stall:
+			if !sleepCtx(sim.Ctx, f.Sleep, f.BeatEvery) {
+				// Deadline or cancellation during the injected sleep:
 				// return garbage; the flow discards it on ctx.Err().
 				return grid.NewReal(target.W, target.H), nil
 			}
@@ -96,5 +106,40 @@ func InjectFaults(opt Optimizer, plan FaultPlan) Optimizer {
 			return mask, []geom.Circle{{X: 1, Y: 1, R: 1e9}}
 		}
 		return opt(sim, target)
+	}
+}
+
+// sleepCtx blocks for d, optionally emitting a synthetic heartbeat
+// every beatEvery, and reports whether the full sleep completed (false
+// when ctx was canceled first).
+func sleepCtx(ctx context.Context, d, beatEvery time.Duration) bool {
+	if beatEvery <= 0 || beatEvery > d {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		select {
+		case <-t.C:
+			return true
+		case <-ctx.Done():
+			return false
+		}
+	}
+	deadline := time.Now().Add(d)
+	for beat := 0; ; beat++ {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return true
+		}
+		slice := beatEvery
+		if slice > remaining {
+			slice = remaining
+		}
+		t := time.NewTimer(slice)
+		select {
+		case <-t.C:
+			opt.Beat(ctx, beat, 0)
+		case <-ctx.Done():
+			t.Stop()
+			return false
+		}
 	}
 }

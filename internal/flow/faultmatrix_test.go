@@ -1,0 +1,116 @@
+package flow
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+	"time"
+)
+
+// TestFaultMatrix runs the full degradation machinery under one fault
+// kind and worker count, both selectable from the environment so CI can
+// fan the matrix out across jobs (kind × workers, each under -race):
+//
+//	FLOW_FAULT_KIND=sleep|panic|nan|badradius|stall|all (default all)
+//	FLOW_TILE_WORKERS=N (default runs 1 and 4)
+//
+// Every occupied tile suffers the fault on attempt 0 and recovers on
+// the retry; the run must finish on the primary path for all tiles, and
+// two identical runs must produce identical shot lists regardless of
+// worker count.
+func TestFaultMatrix(t *testing.T) {
+	kinds := []string{"sleep", "panic", "nan", "badradius", "stall"}
+	if k := os.Getenv("FLOW_FAULT_KIND"); k != "" && k != "all" {
+		kinds = []string{k}
+	}
+	workerCounts := []int{1, 4}
+	if w := os.Getenv("FLOW_TILE_WORKERS"); w != "" {
+		n, err := strconv.Atoi(w)
+		if err != nil {
+			t.Fatalf("FLOW_TILE_WORKERS=%q: %v", w, err)
+		}
+		workerCounts = []int{n}
+	}
+	for _, kind := range kinds {
+		for _, workers := range workerCounts {
+			t.Run(fmt.Sprintf("%s/workers=%d", kind, workers), func(t *testing.T) {
+				runFaultMatrixCase(t, kind, workers)
+			})
+		}
+	}
+}
+
+func runFaultMatrixCase(t *testing.T, kind string, workers int) {
+	mkCfg := func() Config {
+		cfg := faultConfig()
+		cfg.Optimize = ruleFallback() // the fault paths, not the engine, are under test
+		cfg.Fallback = ruleFallback()
+		cfg.TileWorkers = workers
+		cfg.TileRetries = 1
+		var f Fault
+		switch kind {
+		case "sleep":
+			// The wall deadline must comfortably fit the healthy retry
+			// attempt even under -race on a loaded box.
+			f = Fault{Sleep: time.Minute}
+			cfg.TileTimeout = 2 * time.Second
+		case "panic":
+			f = Fault{Panic: true}
+		case "nan":
+			f = Fault{NaN: true}
+		case "badradius":
+			f = Fault{BadRadius: true}
+			cfg.RMinPx = 1
+			cfg.RMaxPx = 40
+		case "stall":
+			// Generous deadline: the healthy retry runs a non-beating
+			// rule engine, so its whole attempt must finish within the
+			// stall window even under -race.
+			f = Fault{Stall: true}
+			cfg.StallTimeout = time.Second
+		default:
+			t.Fatalf("unknown fault kind %q", kind)
+		}
+		cfg.Faults = FaultPlan{0: {f}, 1: {f}, 2: {f}, 3: {f}}
+		return cfg
+	}
+
+	run := func() *Result {
+		t.Helper()
+		res, err := Run(quadLayout(), mkCfg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	res := run()
+	if res.Retried != 4 || res.Fallbacks != 0 || res.Empty != 0 {
+		t.Fatalf("summary: %+v", res)
+	}
+	for i, st := range res.TileStats {
+		if st.Attempts != 2 || st.Path != PathPrimary || st.Failure == "" {
+			t.Fatalf("tile %d stat: %+v", i, st)
+		}
+		if kind == "stall" && !st.Stalled {
+			t.Fatalf("tile %d not marked stalled: %+v", i, st)
+		}
+	}
+	if kind == "stall" && res.Stalled != 4 {
+		t.Fatalf("res.Stalled = %d, want 4", res.Stalled)
+	}
+	if len(res.Shots) == 0 {
+		t.Fatal("no shots")
+	}
+
+	// Determinism across reruns at this worker count.
+	res2 := run()
+	if len(res2.Shots) != len(res.Shots) {
+		t.Fatalf("rerun shot count %d != %d", len(res2.Shots), len(res.Shots))
+	}
+	for i := range res.Shots {
+		if res.Shots[i] != res2.Shots[i] {
+			t.Fatalf("shot %d differs across reruns: %+v vs %+v", i, res.Shots[i], res2.Shots[i])
+		}
+	}
+}

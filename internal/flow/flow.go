@@ -35,22 +35,41 @@
 //     output is validated (no NaNs, radii in bounds, centers inside the
 //     window). A bad tile is retried (Config.TileRetries), then degraded
 //     to Config.Fallback, then to an empty tile — never a crashed run.
-//     TileStat records the attempts, outcome path and failure mode.
+//     TileStat records every attempt's outcome and failure mode.
+//   - Liveness. Engines emit per-iteration heartbeats (opt.Beat); with
+//     Config.StallTimeout set, a per-attempt watchdog kills an optimizer
+//     whose heartbeats stop — a wedge — long before the wall deadline
+//     (Config.TileTimeout) would, while an equally slow but heartbeating
+//     attempt runs on. TileStat.{Iters, LastLoss, Stalled} surface the
+//     heartbeat stream.
 //   - Restartability. With Config.CheckpointPath set, every completed
 //     tile is journaled through internal/checkpoint; a rerun replays the
 //     journal, skips finished tiles, and still reduces in row-major
 //     order, so a resumed run's shot list and mask are bit-identical to
-//     an uninterrupted one.
+//     an uninterrupted one. Config.PartialEvery additionally journals
+//     iteration-level snapshots inside long CircleOpt tiles, so a killed
+//     run restarts a half-finished tile from its last recorded circle
+//     parameters — and, because the Adam state rides along, replays the
+//     uninterrupted trajectory exactly. CompactCheckpoint rewrites a
+//     journal with superseded records dropped.
+//   - Forensics. A tile that exhausts every engine degrades to empty but
+//     no longer silently: with Config.QuarantineDir set, the flow writes
+//     a self-contained repro bundle (window target, owning rects, config
+//     fingerprint, per-attempt history, injected-fault script) through
+//     internal/quarantine; cmd/replaytile replays bundles offline via
+//     ReplayWindow.
 package flow
 
 import (
 	"bytes"
 	"context"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"math"
 	"runtime"
+	"strings"
 	"sync"
 	"time"
 
@@ -59,11 +78,18 @@ import (
 	"cfaopc/internal/grid"
 	"cfaopc/internal/layout"
 	"cfaopc/internal/litho"
+	"cfaopc/internal/opt"
 	"cfaopc/internal/optics"
+	"cfaopc/internal/quarantine"
 )
 
 // Optimizer produces a mask and shot list for one window target.
 type Optimizer func(sim *litho.Simulator, target *grid.Real) (*grid.Real, []geom.Circle)
+
+// ErrStalled marks an optimizer attempt killed by the stall watchdog:
+// no heartbeat arrived within Config.StallTimeout, so the attempt was
+// wedged, not slow.
+var ErrStalled = errors.New("optimizer stalled")
 
 // Config controls the tiling.
 type Config struct {
@@ -103,6 +129,15 @@ type Config struct {
 	// A timed-out attempt counts as a failure (and is retried / degraded
 	// like one); zero disables the deadline.
 	TileTimeout time.Duration
+	// StallTimeout bounds the gap between optimizer heartbeats within a
+	// single attempt. Engines emit one heartbeat per iteration
+	// (opt.Beat); when the stream goes quiet for this long the attempt
+	// is killed as stalled — distinguishing a wedged optimizer from a
+	// legitimately slow one, which TileTimeout alone cannot. The attempt
+	// start counts as the first heartbeat, so enable this only with
+	// engines that heartbeat (or finish) faster than the window. Zero
+	// disables the watchdog. Must not exceed a non-zero TileTimeout.
+	StallTimeout time.Duration
 	// RMinPx / RMaxPx bound valid shot radii (in window-grid pixels) for
 	// output validation; a shot outside [RMinPx, RMaxPx] fails the tile.
 	// Both zero disables the radius check.
@@ -112,6 +147,29 @@ type Config struct {
 	// The journal is bound to the (layout, tiling) fingerprint: reusing a
 	// path across different runs is an error, not silent corruption.
 	CheckpointPath string
+	// PartialEvery, when > 0 and checkpointing is on, additionally
+	// journals a snapshot of snapshot-capable optimizers (CircleOpt's
+	// circle parameters plus Adam state) every that many iterations, so
+	// a killed run resumes a half-finished tile mid-optimization instead
+	// of from scratch. Superseded snapshots are dropped by
+	// CompactCheckpoint.
+	PartialEvery int
+	// QuarantineDir, when non-empty, receives a self-contained repro
+	// bundle (internal/quarantine) for every tile that degrades to
+	// empty. A bundle write failure fails the run, like a checkpoint
+	// append failure; probe the directory up front.
+	QuarantineDir string
+	// Faults, when non-nil, wraps Optimize and Fallback with
+	// deterministic fault injection (see InjectFaults) AND records each
+	// quarantined tile's script into its bundle, so replays re-inject
+	// the same failures. Tests that wrap optimizers with InjectFaults
+	// directly still work but leave bundles without a script.
+	Faults FaultPlan
+	// Engines describes how to rebuild Optimize/Fallback offline (method
+	// names + knobs). It is copied verbatim into quarantine bundles so
+	// cmd/replaytile can reconstruct the exact attempt sequence; the
+	// flow itself never interprets it.
+	Engines quarantine.EngineMeta
 
 	// KeepMask materializes Result.Mask, a dense GridN² re-rasterization
 	// of the stitched shot list. The shot list is the primary output; on
@@ -125,6 +183,21 @@ type Config struct {
 	// stream out as their contributing tile rows complete; without a
 	// radius bound they are all emitted when the last tile finishes.
 	MaskWriter MaskWriter
+}
+
+// withInjectedFaults resolves Config.Faults into wrapped optimizers.
+// Both the primary and the fallback see the same plan; attempt indices
+// are global per tile (fallback = TileRetries+1), so one script drives
+// the whole degradation trajectory.
+func (cfg Config) withInjectedFaults() Config {
+	if cfg.Faults == nil {
+		return cfg
+	}
+	cfg.Optimize = InjectFaults(cfg.Optimize, cfg.Faults)
+	if cfg.Fallback != nil {
+		cfg.Fallback = InjectFaults(cfg.Fallback, cfg.Faults)
+	}
+	return cfg
 }
 
 // Outcome paths recorded in TileStat.Path.
@@ -146,10 +219,32 @@ type TileStat struct {
 	// out of a full-grid raster).
 	RasterWall time.Duration
 
-	Attempts int    // optimizer invocations (primary + fallback); 0 if unoccupied
-	Path     string // outcome path: PathPrimary / PathFallback / PathEmpty ("" if unoccupied)
-	Failure  string // last failure mode seen, "" when the first attempt succeeded
-	Resumed  bool   // replayed from the checkpoint journal, not recomputed
+	Attempts int // optimizer invocations (primary + fallback); 0 if unoccupied
+	Path     string
+	// Failure joins every failed attempt's error (attempt-indexed, in
+	// order), capped at maxFailureBytes so pathological error strings
+	// cannot bloat checkpoints or stats. "" when the first attempt
+	// succeeded.
+	Failure string
+	Resumed bool // replayed from the checkpoint journal, not recomputed
+
+	Iters    int     // optimizer heartbeats received across all attempts
+	LastLoss float64 // loss reported by the most recent heartbeat
+	Stalled  bool    // some attempt was killed by the stall watchdog
+	// Bundle is the quarantine repro bundle path for a tile that
+	// degraded to empty ("" otherwise, or when no QuarantineDir is set).
+	Bundle string
+}
+
+// AttemptOutcome records one optimizer invocation for forensics: it
+// feeds TileStat.Failure, quarantine bundles, and replay comparison.
+type AttemptOutcome struct {
+	Attempt  int    // global attempt counter; the fallback is TileRetries+1
+	Engine   string // "primary" or "fallback"
+	Err      string // "" on success; capped at maxAttemptErrBytes
+	Iters    int    // heartbeats emitted during this attempt
+	LastLoss float64
+	Stalled  bool // killed by the stall watchdog
 }
 
 // Result is the stitched output.
@@ -162,10 +257,12 @@ type Result struct {
 	Tiles     int           // number of windows optimized
 	TileStats []TileStat    // per-window records in row-major order
 
-	Retried   int // tiles that needed >1 attempt but still finished on Optimize
-	Fallbacks int // tiles that degraded to the Fallback optimizer
-	Empty     int // tiles degraded to empty after every optimizer failed
-	Resumed   int // tiles replayed from the checkpoint journal
+	Retried     int // tiles that needed >1 attempt but still finished on Optimize
+	Fallbacks   int // tiles that degraded to the Fallback optimizer
+	Empty       int // tiles degraded to empty after every optimizer failed
+	Resumed     int // tiles replayed from the checkpoint journal
+	Stalled     int // tiles where the stall watchdog killed an attempt
+	Quarantined int // tiles that wrote a quarantine repro bundle
 
 	// PeakBytes estimates the peak bytes of flow-owned buffers held
 	// resident during the run: the layout span index, one window target
@@ -175,6 +272,13 @@ type Result struct {
 	// is to make the O(window²) vs O(GridN²) scaling observable.
 	PeakBytes int64
 }
+
+// maxFailureBytes caps TileStat.Failure; maxAttemptErrBytes caps each
+// individual attempt error as recorded in outcomes and bundles.
+const (
+	maxFailureBytes    = 1024
+	maxAttemptErrBytes = 2048
+)
 
 // tileWorkerCount resolves the effective tile parallelism.
 func tileWorkerCount(w, jobs int) int {
@@ -246,6 +350,35 @@ type tileOut struct {
 	stat  TileStat
 }
 
+// runEnv is the per-run state shared by every tile worker: the resolved
+// config (faults injected), the layout and its span index, the open
+// journal and the partial snapshots replayed from it, plus an error
+// channel for asynchronous failures (journal appends, bundle saves).
+// ReplayWindow builds a minimal env with no layout, index or journal.
+type runEnv struct {
+	cfg       Config    // effective config: Faults already wrapped in
+	rawFaults FaultPlan // the unwrapped plan, recorded into bundles
+	window    int
+	optics    optics.Config // window-level imaging condition
+	lay       *layout.Layout
+	fp        []byte
+	ix        *layout.WindowIndex
+	journal   *checkpoint.Journal
+	partials  map[int]partialRecord
+	errCh     chan error
+}
+
+// reportErr surfaces the first asynchronous failure; later ones drop.
+func (env *runEnv) reportErr(err error) {
+	if env.errCh == nil {
+		return
+	}
+	select {
+	case env.errCh <- err:
+	default:
+	}
+}
+
 // validateTile rejects optimizer output that would poison the stitched
 // result: NaN/Inf masks, non-finite shots, radii outside [RMinPx, RMaxPx]
 // and centers outside the window. Coordinates here are window-local.
@@ -277,21 +410,127 @@ func validateTile(mask *grid.Real, shots []geom.Circle, cfg Config, window int) 
 
 func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
 
+// beatState accumulates one attempt's heartbeat stream. The optimizer
+// goroutine writes through beat while the watchdog goroutine polls
+// lastBeat, hence the lock.
+type beatState struct {
+	mu    sync.Mutex
+	last  time.Time
+	iters int
+	loss  float64
+}
+
+func newBeatState() *beatState { return &beatState{last: time.Now()} }
+
+func (b *beatState) beat(iter int, loss float64, at time.Time) {
+	b.mu.Lock()
+	b.last = at
+	b.iters++
+	b.loss = loss
+	b.mu.Unlock()
+}
+
+func (b *beatState) lastBeat() time.Time {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.last
+}
+
+func (b *beatState) totals() (iters int, loss float64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.iters, b.loss
+}
+
+// watchdog cancels the attempt with ErrStalled when the heartbeat
+// stream goes quiet for longer than stallAfter. Polling at a fraction
+// of the window bounds detection latency to ~1.13·stallAfter.
+func watchdog(tctx context.Context, cancel context.CancelCauseFunc, hb *beatState, stallAfter time.Duration, stop <-chan struct{}) {
+	period := stallAfter / 8
+	if period < time.Millisecond {
+		period = time.Millisecond
+	}
+	tick := time.NewTicker(period)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tctx.Done():
+			return
+		case <-tick.C:
+			if time.Since(hb.lastBeat()) > stallAfter {
+				cancel(fmt.Errorf("%w: no heartbeat within %s", ErrStalled, stallAfter))
+				return
+			}
+		}
+	}
+}
+
 // attemptTile runs one optimizer invocation in isolation: a panic or
-// invalid output becomes an error, a per-attempt deadline is enforced
-// through the simulator's cooperative context, and the tile's identity
-// is published on that context for fault-injection harnesses.
-func attemptTile(ctx context.Context, sim *litho.Simulator, opt Optimizer, target *grid.Real,
-	cfg Config, j tileJob, attempt int, window int) (shots []geom.Circle, err error) {
+// invalid output becomes an error, the per-attempt wall deadline and
+// the heartbeat stall watchdog are enforced through the simulator's
+// cooperative context, and the tile's identity is published on that
+// context for fault-injection harnesses. The returned outcome records
+// the attempt for stats, bundles and replay comparison.
+func (env *runEnv) attemptTile(ctx context.Context, sim *litho.Simulator, optimize Optimizer,
+	target *grid.Real, j tileJob, attempt int, engine string) ([]geom.Circle, AttemptOutcome) {
+	cfg := env.cfg
+	out := AttemptOutcome{Attempt: attempt, Engine: engine}
 	tctx := ctx
 	if cfg.TileTimeout > 0 {
 		var cancel context.CancelFunc
 		tctx, cancel = context.WithTimeout(ctx, cfg.TileTimeout)
 		defer cancel()
 	}
+	tctx, cancelCause := context.WithCancelCause(tctx)
+	defer cancelCause(nil)
 	tctx = context.WithValue(tctx, tileInfoKey{}, TileInfo{
 		Index: j.index, Attempt: attempt, CX: j.cx, CY: j.cy,
 	})
+	hb := newBeatState()
+	tctx = opt.WithProgress(tctx, hb.beat)
+	if env.journal != nil && cfg.PartialEvery > 0 {
+		index := j.index
+		tctx = opt.WithSnapshots(tctx, func(s opt.Snapshot) {
+			// A canceled attempt's parameters are garbage-contaminated
+			// (the simulator aborts mid-kernel); journaling them would
+			// poison the resume. Only live snapshots go to disk.
+			if tctx.Err() != nil {
+				return
+			}
+			env.appendPartial(index, attempt, s)
+		}, cfg.PartialEvery)
+	}
+	if p, ok := env.partials[j.index]; ok && p.Attempt == attempt {
+		tctx = opt.WithResume(tctx, opt.Snapshot{
+			Iter: p.Iter, Loss: p.Loss, Params: p.Params,
+			OptT: p.OptT, OptM: p.OptM, OptV: p.OptV,
+		})
+	}
+	if cfg.StallTimeout > 0 {
+		stop := make(chan struct{})
+		defer close(stop)
+		go watchdog(tctx, cancelCause, hb, cfg.StallTimeout, stop)
+	}
+
+	shots, err := runGuarded(tctx, sim, optimize, target, cfg, env.window)
+	out.Iters, out.LastLoss = hb.totals()
+	if err != nil {
+		if errors.Is(err, ErrStalled) {
+			out.Stalled = true
+		}
+		out.Err = capString(err.Error(), maxAttemptErrBytes)
+		return nil, out
+	}
+	return shots, out
+}
+
+// runGuarded executes one optimizer call under panic recovery, checks
+// the cooperative context afterwards (a canceled attempt's output is
+// untrusted), and validates the output.
+func runGuarded(tctx context.Context, sim *litho.Simulator, optimize Optimizer,
+	target *grid.Real, cfg Config, window int) (shots []geom.Circle, err error) {
 	sim.Ctx = tctx
 	defer func() {
 		sim.Ctx = nil
@@ -299,9 +538,14 @@ func attemptTile(ctx context.Context, sim *litho.Simulator, opt Optimizer, targe
 			err = fmt.Errorf("panic: %v", r)
 		}
 	}()
-	mask, shots := opt(sim, target)
+	mask, shots := optimize(sim, target)
 	if cerr := tctx.Err(); cerr != nil {
-		// Canceled or timed out mid-attempt: the output is untrusted.
+		// Canceled, timed out, or stall-killed mid-attempt: the output is
+		// untrusted. The cancellation cause distinguishes the watchdog
+		// (ErrStalled) from the wall deadline and run-level cancel.
+		if cause := context.Cause(tctx); cause != nil && !errors.Is(cause, cerr) {
+			return nil, cause
+		}
 		return nil, cerr
 	}
 	if verr := validateTile(mask, shots, cfg, window); verr != nil {
@@ -310,57 +554,183 @@ func attemptTile(ctx context.Context, sim *litho.Simulator, opt Optimizer, targe
 	return shots, nil
 }
 
+// attemptSequence walks the degradation ladder for one window: primary
+// with retries, then the fallback, then empty. It returns window-local
+// shots, the outcome path ("" when the run was canceled mid-tile) and
+// the per-attempt history.
+func (env *runEnv) attemptSequence(ctx context.Context, sim *litho.Simulator, j tileJob,
+	target *grid.Real) (shots []geom.Circle, path string, outcomes []AttemptOutcome) {
+	cfg := env.cfg
+	for attempt := 0; attempt <= cfg.TileRetries; attempt++ {
+		if ctx.Err() != nil {
+			return nil, "", outcomes // run canceled: abandon, don't degrade
+		}
+		s, out := env.attemptTile(ctx, sim, cfg.Optimize, target, j, attempt, "primary")
+		outcomes = append(outcomes, out)
+		if out.Err == "" {
+			return s, PathPrimary, outcomes
+		}
+		if ctx.Err() != nil {
+			return nil, "", outcomes
+		}
+	}
+	if cfg.Fallback != nil {
+		s, out := env.attemptTile(ctx, sim, cfg.Fallback, target, j, cfg.TileRetries+1, "fallback")
+		outcomes = append(outcomes, out)
+		if out.Err == "" {
+			return s, PathFallback, outcomes
+		}
+		if ctx.Err() != nil {
+			return nil, "", outcomes
+		}
+	}
+	// Graceful floor: the window contributes nothing, the run survives.
+	return nil, PathEmpty, outcomes
+}
+
+// applyOutcomes folds the attempt history into the tile stat.
+func applyOutcomes(st *TileStat, outcomes []AttemptOutcome) {
+	st.Attempts = len(outcomes)
+	for _, o := range outcomes {
+		st.Iters += o.Iters
+		if o.Iters > 0 {
+			st.LastLoss = o.LastLoss
+		}
+		if o.Stalled {
+			st.Stalled = true
+		}
+	}
+	st.Failure = joinFailures(outcomes)
+}
+
+// joinFailures renders the attempt-indexed error history, capped so a
+// pathological error string can't bloat checkpoints or stats.
+func joinFailures(outcomes []AttemptOutcome) string {
+	var b strings.Builder
+	for _, o := range outcomes {
+		if o.Err == "" {
+			continue
+		}
+		if b.Len() > 0 {
+			b.WriteString("; ")
+		}
+		fmt.Fprintf(&b, "attempt %d (%s): %s", o.Attempt, o.Engine, o.Err)
+		if b.Len() > maxFailureBytes {
+			break
+		}
+	}
+	return capString(b.String(), maxFailureBytes)
+}
+
+func capString(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + " …[truncated]"
+}
+
 // runTile rasterizes, optimizes and filters one window, degrading
 // through retry → fallback → empty instead of failing the run. The
 // window target is rasterized on demand from the layout's span index —
 // the streaming path; no full-grid raster exists anywhere. When ctx is
 // canceled the tile is abandoned (stat.Path stays empty); Run turns that
-// into ctx.Err() for the whole run.
-func runTile(ctx context.Context, sim *litho.Simulator, ix *layout.WindowIndex, cfg Config, j tileJob, window int) tileOut {
+// into ctx.Err() for the whole run. A tile that lands on PathEmpty
+// writes its quarantine bundle here, from the worker that watched it
+// fail.
+func (env *runEnv) runTile(ctx context.Context, sim *litho.Simulator, j tileJob) tileOut {
 	start := time.Now()
+	cfg := env.cfg
 	ox := j.cx - cfg.HaloPx
 	oy := j.cy - cfg.HaloPx
-	target, occupied := ix.Window(ox, oy, window, window)
+	target, occupied := env.ix.Window(ox, oy, env.window, env.window)
 	out := tileOut{stat: TileStat{Index: j.index, CX: j.cx, CY: j.cy, Occupied: occupied, RasterWall: time.Since(start)}}
 	defer func() { out.stat.Wall = time.Since(start) }()
 	if !occupied {
 		return out
 	}
 
-	keep := func(shots []geom.Circle, path string) tileOut {
+	shots, path, outcomes := env.attemptSequence(ctx, sim, j, target)
+	out.stat.Path = path
+	applyOutcomes(&out.stat, outcomes)
+	switch path {
+	case PathPrimary, PathFallback:
 		out.shots = ownedShots(shots, ox, oy, j.cx, j.cy, cfg.CorePx)
 		out.stat.Shots = len(out.shots)
-		out.stat.Path = path
-		return out
+	case PathEmpty:
+		if cfg.QuarantineDir != "" {
+			bpath, err := quarantine.Save(cfg.QuarantineDir, env.buildBundle(j, target, outcomes))
+			if err != nil {
+				env.reportErr(fmt.Errorf("quarantine: %w", err))
+			} else {
+				out.stat.Bundle = bpath
+			}
+		}
 	}
+	return out
+}
 
-	for attempt := 0; attempt <= cfg.TileRetries; attempt++ {
-		if ctx.Err() != nil {
-			return out // run canceled: abandon, don't degrade
-		}
-		out.stat.Attempts++
-		shots, err := attemptTile(ctx, sim, cfg.Optimize, target, cfg, j, attempt, window)
-		if err == nil {
-			return keep(shots, PathPrimary)
-		}
-		out.stat.Failure = err.Error()
-		if ctx.Err() != nil {
-			return out
+// buildBundle assembles the self-contained repro artifact for a tile
+// that exhausted every engine.
+func (env *runEnv) buildBundle(j tileJob, target *grid.Real, outcomes []AttemptOutcome) *quarantine.Bundle {
+	cfg := env.cfg
+	ox := j.cx - cfg.HaloPx
+	oy := j.cy - cfg.HaloPx
+	b := &quarantine.Bundle{
+		FormatVersion: quarantine.FormatVersion,
+		Fingerprint:   string(env.fp),
+		GridN:         cfg.GridN,
+		CorePx:        cfg.CorePx,
+		HaloPx:        cfg.HaloPx,
+		KOpt:          cfg.KOpt,
+		TileRetries:   cfg.TileRetries,
+		TileTimeout:   cfg.TileTimeout,
+		StallTimeout:  cfg.StallTimeout,
+		RMinPx:        cfg.RMinPx,
+		RMaxPx:        cfg.RMaxPx,
+		Optics:        env.optics,
+		Engines:       cfg.Engines,
+		Tile: quarantine.Tile{
+			Index: j.index, CX: j.cx, CY: j.cy,
+			OriginX: ox, OriginY: oy, WindowPx: env.window,
+		},
+		TargetW: target.W,
+		TargetH: target.H,
+		Target:  append([]float64(nil), target.Data...),
+	}
+	if env.lay != nil {
+		b.LayoutName = env.lay.Name
+		b.TileNM = env.lay.TileNM
+		b.Rects = overlapRects(env.lay, cfg.GridN, ox, oy, env.window)
+	}
+	for _, f := range env.rawFaults[j.index] {
+		b.Faults = append(b.Faults, quarantine.Fault{
+			Sleep: f.Sleep, BeatEvery: f.BeatEvery, Stall: f.Stall,
+			Panic: f.Panic, NaN: f.NaN, BadRadius: f.BadRadius,
+		})
+	}
+	for _, o := range outcomes {
+		b.Attempts = append(b.Attempts, quarantine.Attempt{
+			Index: o.Attempt, Engine: o.Engine, Err: o.Err,
+			Iters: o.Iters, LastLoss: o.LastLoss, Stalled: o.Stalled,
+		})
+	}
+	return b
+}
+
+// overlapRects returns the layout rects (nm coordinates) whose extent
+// overlaps the window [ox, ox+window)² given in grid pixels — the
+// geometry a repro bundle needs to re-derive its target raster.
+func overlapRects(l *layout.Layout, gridN, ox, oy, window int) []layout.Rect {
+	dx := float64(l.TileNM) / float64(gridN)
+	x0, x1 := float64(ox)*dx, float64(ox+window)*dx
+	y0, y1 := float64(oy)*dx, float64(oy+window)*dx
+	var out []layout.Rect
+	for _, r := range l.Rects {
+		if float64(r.X) < x1 && float64(r.X+r.W) > x0 &&
+			float64(r.Y) < y1 && float64(r.Y+r.H) > y0 {
+			out = append(out, r)
 		}
 	}
-	if cfg.Fallback != nil {
-		out.stat.Attempts++
-		shots, err := attemptTile(ctx, sim, cfg.Fallback, target, cfg, j, cfg.TileRetries+1, window)
-		if err == nil {
-			return keep(shots, PathFallback)
-		}
-		out.stat.Failure = err.Error()
-		if ctx.Err() != nil {
-			return out
-		}
-	}
-	// Graceful floor: the window contributes nothing, the run survives.
-	out.stat.Path = PathEmpty
 	return out
 }
 
@@ -370,10 +740,70 @@ type tileRecord struct {
 	Stat  TileStat
 }
 
+// partialRecord journals iteration-level progress inside a long
+// snapshot-capable tile (CircleOpt): the flat circle parameters plus
+// the Adam state after Iter stage-2 iterations of the given attempt.
+// On resume the tile warm-starts from here and — because the optimizer
+// state rides along — replays the uninterrupted trajectory exactly.
+type partialRecord struct {
+	Index   int
+	Attempt int
+	Iter    int
+	Loss    float64
+	Params  []float64
+	OptT    int
+	OptM    []float64
+	OptV    []float64
+}
+
+// journalRecord frames one checkpoint payload: exactly one of Tile or
+// Partial is set.
+type journalRecord struct {
+	Tile    *tileRecord
+	Partial *partialRecord
+}
+
+func encodeRecord(rec journalRecord) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(rec); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeRecord(p []byte) (journalRecord, error) {
+	var rec journalRecord
+	if err := gob.NewDecoder(bytes.NewReader(p)).Decode(&rec); err != nil {
+		return rec, err
+	}
+	if (rec.Tile == nil) == (rec.Partial == nil) {
+		return rec, fmt.Errorf("record is neither a tile nor a partial")
+	}
+	return rec, nil
+}
+
+// appendPartial journals one mid-tile snapshot. Append is
+// concurrency-safe, so snapshot records from parallel tiles interleave
+// freely with completed-tile records.
+func (env *runEnv) appendPartial(index, attempt int, s opt.Snapshot) {
+	buf, err := encodeRecord(journalRecord{Partial: &partialRecord{
+		Index: index, Attempt: attempt, Iter: s.Iter, Loss: s.Loss,
+		Params: s.Params, OptT: s.OptT, OptM: s.OptM, OptV: s.OptV,
+	}})
+	if err == nil {
+		err = env.journal.Append(buf)
+	}
+	if err != nil {
+		env.reportErr(fmt.Errorf("checkpoint partial: %w", err))
+	}
+}
+
 // fingerprint binds a checkpoint journal to one (layout, tiling) pair.
 // It covers everything that determines per-tile output except the
 // optimizer itself (a func is not hashable); resuming with a different
-// optimizer is the caller's responsibility, like any cache key.
+// optimizer is the caller's responsibility, like any cache key. The v2
+// format introduced partial-progress records, so v1 journals fail the
+// header check instead of decoding garbage.
 func fingerprint(l *layout.Layout, cfg Config) []byte {
 	h := fnv.New64a()
 	fmt.Fprintf(h, "grid=%d core=%d halo=%d kopt=%d retries=%d rmin=%g rmax=%g\n",
@@ -383,7 +813,7 @@ func fingerprint(l *layout.Layout, cfg Config) []byte {
 	for _, r := range l.Rects {
 		fmt.Fprintf(h, "%d,%d,%d,%d\n", r.X, r.Y, r.W, r.H)
 	}
-	return []byte(fmt.Sprintf("cfaopc-flow-v1 %016x", h.Sum64()))
+	return []byte(fmt.Sprintf("cfaopc-flow-v2 %016x", h.Sum64()))
 }
 
 // Run tiles the layout and optimizes every window. It is RunContext with
@@ -406,6 +836,11 @@ func RunContext(ctx context.Context, l *layout.Layout, cfg Config) (*Result, err
 		return nil, fmt.Errorf("flow: no optimizer")
 	case cfg.TileRetries < 0:
 		return nil, fmt.Errorf("flow: negative retries %d", cfg.TileRetries)
+	case cfg.StallTimeout < 0 || cfg.PartialEvery < 0:
+		return nil, fmt.Errorf("flow: negative stall timeout %s / partial interval %d", cfg.StallTimeout, cfg.PartialEvery)
+	case cfg.StallTimeout > 0 && cfg.TileTimeout > 0 && cfg.StallTimeout > cfg.TileTimeout:
+		return nil, fmt.Errorf("flow: stall timeout %s exceeds tile timeout %s (the wall deadline would always fire first)",
+			cfg.StallTimeout, cfg.TileTimeout)
 	}
 	window := cfg.CorePx + 2*cfg.HaloPx
 	if window > cfg.GridN {
@@ -417,6 +852,16 @@ func RunContext(ctx context.Context, l *layout.Layout, cfg Config) (*Result, err
 	// binds the same (cached) kernel sets.
 	oCfg := cfg.Optics
 	oCfg.TileNM = float64(window) * dx
+
+	env := &runEnv{
+		cfg:       cfg.withInjectedFaults(),
+		rawFaults: cfg.Faults,
+		window:    window,
+		optics:    oCfg,
+		lay:       l,
+		fp:        fingerprint(l, cfg),
+		errCh:     make(chan error, 1),
+	}
 
 	var jobs []tileJob
 	for cy := 0; cy < cfg.GridN; cy += cfg.CorePx {
@@ -434,34 +879,52 @@ func RunContext(ctx context.Context, l *layout.Layout, cfg Config) (*Result, err
 		asm = newBandAssembler(cfg.GridN, cfg.CorePx, rows, cols, cfg.RMaxPx, cfg.MaskWriter)
 	}
 
-	// Replay the checkpoint journal (if any) and drop finished tiles from
-	// the job list before sizing the pool.
-	var journal *checkpoint.Journal
+	// Replay the checkpoint journal (if any): completed tiles drop out of
+	// the job list, and the freshest partial snapshot of each unfinished
+	// tile warm-starts its recomputation.
 	resumed := 0
 	if cfg.CheckpointPath != "" {
 		var payloads [][]byte
-		var err error
-		journal, payloads, err = checkpoint.Open(cfg.CheckpointPath, fingerprint(l, cfg))
+		journal, payloads, err := checkpoint.Open(cfg.CheckpointPath, env.fp)
 		if err != nil {
 			return nil, fmt.Errorf("flow: %w", err)
 		}
 		defer journal.Close()
+		env.journal = journal
 		done := make(map[int]bool, len(payloads))
+		partials := make(map[int]partialRecord)
 		for _, p := range payloads {
-			var rec tileRecord
-			if derr := gob.NewDecoder(bytes.NewReader(p)).Decode(&rec); derr != nil {
+			rec, derr := decodeRecord(p)
+			if derr != nil {
 				return nil, fmt.Errorf("flow: corrupt checkpoint record: %w", derr)
 			}
-			idx := rec.Stat.Index
-			if idx < 0 || idx >= nTiles {
-				return nil, fmt.Errorf("flow: checkpoint tile %d out of range [0, %d)", idx, nTiles)
+			switch {
+			case rec.Tile != nil:
+				idx := rec.Tile.Stat.Index
+				if idx < 0 || idx >= nTiles {
+					return nil, fmt.Errorf("flow: checkpoint tile %d out of range [0, %d)", idx, nTiles)
+				}
+				rec.Tile.Stat.Resumed = true
+				outs[idx] = tileOut{shots: rec.Tile.Shots, stat: rec.Tile.Stat}
+				if !done[idx] {
+					done[idx] = true
+					resumed++
+				}
+			case rec.Partial != nil:
+				idx := rec.Partial.Index
+				if idx < 0 || idx >= nTiles {
+					return nil, fmt.Errorf("flow: checkpoint partial for tile %d out of range [0, %d)", idx, nTiles)
+				}
+				partials[idx] = *rec.Partial // append order: last snapshot wins
 			}
-			rec.Stat.Resumed = true
-			outs[idx] = tileOut{shots: rec.Shots, stat: rec.Stat}
-			if !done[idx] {
-				done[idx] = true
-				resumed++
+		}
+		for idx := range partials {
+			if done[idx] {
+				delete(partials, idx)
 			}
+		}
+		if len(partials) > 0 {
+			env.partials = partials
 		}
 		if resumed > 0 {
 			remaining := jobs[:0]
@@ -499,9 +962,8 @@ func RunContext(ctx context.Context, l *layout.Layout, cfg Config) (*Result, err
 
 	// Streaming path: no full-grid raster is ever allocated. Workers
 	// rasterize each window on demand from the row-bucketed span index.
-	ix := layout.NewWindowIndex(l, cfg.GridN)
+	env.ix = layout.NewWindowIndex(l, cfg.GridN)
 	jobCh := make(chan tileJob)
-	journalErr := make(chan error, 1)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -511,22 +973,18 @@ func RunContext(ctx context.Context, l *layout.Layout, cfg Config) (*Result, err
 				if ctx.Err() != nil {
 					continue // drain without work so the feeder never blocks
 				}
-				out := runTile(ctx, sim, ix, cfg, j, window)
+				out := env.runTile(ctx, sim, j)
 				outs[j.index] = out
 				if asm != nil && ctx.Err() == nil {
 					asm.tileDone(j.index/cols, out.shots)
 				}
-				if journal != nil && ctx.Err() == nil {
-					var buf bytes.Buffer
-					err := gob.NewEncoder(&buf).Encode(tileRecord{Shots: out.shots, Stat: out.stat})
+				if env.journal != nil && ctx.Err() == nil {
+					buf, err := encodeRecord(journalRecord{Tile: &tileRecord{Shots: out.shots, Stat: out.stat}})
 					if err == nil {
-						err = journal.Append(buf.Bytes())
+						err = env.journal.Append(buf)
 					}
 					if err != nil {
-						select {
-						case journalErr <- err:
-						default:
-						}
+						env.reportErr(fmt.Errorf("checkpoint append: %w", err))
 					}
 				}
 			}
@@ -546,8 +1004,8 @@ feed:
 		return nil, err
 	}
 	select {
-	case err := <-journalErr:
-		return nil, fmt.Errorf("flow: checkpoint append: %w", err)
+	case err := <-env.errCh:
+		return nil, fmt.Errorf("flow: %w", err)
 	default:
 	}
 	if asm != nil {
@@ -574,12 +1032,71 @@ feed:
 		case PathEmpty:
 			res.Empty++
 		}
+		if st.Stalled {
+			res.Stalled++
+		}
+		if st.Bundle != "" {
+			res.Quarantined++
+		}
 	}
 	if cfg.KeepMask {
 		res.Mask = geom.RasterizeCircles(cfg.GridN, cfg.GridN, res.Shots)
 	}
-	res.PeakBytes = estimatePeakBytes(cfg, window, workers, ix.Bytes(), len(res.Shots))
+	res.PeakBytes = estimatePeakBytes(cfg, window, workers, env.ix.Bytes(), len(res.Shots))
 	return res, nil
+}
+
+// ReplayWindow re-runs one window's exact degradation sequence (primary
+// → retries → fallback → empty) on an explicit target raster, outside
+// any tiled run — the offline entry point cmd/replaytile uses on
+// quarantine bundles. cfg.Faults is honored, so a bundle's recorded
+// script re-injects the same deterministic failures. The returned shots
+// are window-local (no core-ownership filtering), and no checkpoint or
+// quarantine side effects are performed; the stat and outcomes mirror
+// what a live run would have recorded.
+func ReplayWindow(ctx context.Context, sim *litho.Simulator, cfg Config, index, cx, cy int,
+	target *grid.Real) ([]geom.Circle, TileStat, []AttemptOutcome) {
+	start := time.Now()
+	env := &runEnv{
+		cfg:       cfg.withInjectedFaults(),
+		rawFaults: cfg.Faults,
+		window:    target.W,
+		optics:    sim.Cfg,
+	}
+	j := tileJob{index: index, cx: cx, cy: cy}
+	shots, path, outcomes := env.attemptSequence(ctx, sim, j, target)
+	stat := TileStat{Index: index, CX: cx, CY: cy, Occupied: true, Path: path}
+	applyOutcomes(&stat, outcomes)
+	if path == PathPrimary || path == PathFallback {
+		stat.Shots = len(shots)
+	} else {
+		shots = nil
+	}
+	stat.Wall = time.Since(start)
+	return shots, stat, outcomes
+}
+
+// CompactCheckpoint rewrites cfg.CheckpointPath dropping superseded
+// records: duplicate completed-tile records and every partial-progress
+// snapshot that a later snapshot or the tile's completion made
+// redundant. Replay semantics are last-record-wins for both kinds, so a
+// resume from the compacted journal is byte-identical to a resume from
+// the original — the journal is just smaller, which is what matters
+// after a many-restart run over a huge chip.
+func CompactCheckpoint(l *layout.Layout, cfg Config) (checkpoint.CompactStats, error) {
+	if cfg.CheckpointPath == "" {
+		return checkpoint.CompactStats{}, fmt.Errorf("flow: no checkpoint path to compact")
+	}
+	return checkpoint.Compact(cfg.CheckpointPath, fingerprint(l, cfg), func(p []byte) (string, error) {
+		rec, err := decodeRecord(p)
+		if err != nil {
+			return "", fmt.Errorf("flow: corrupt checkpoint record: %w", err)
+		}
+		if rec.Tile != nil {
+			return fmt.Sprintf("tile-%d", rec.Tile.Stat.Index), nil
+		}
+		return fmt.Sprintf("tile-%d", rec.Partial.Index), nil
+	})
 }
 
 // estimatePeakBytes adds up the flow-owned buffers documented on

@@ -184,13 +184,15 @@ func (e *Mosaic) Optimize(sim *litho.Simulator, target *grid.Real) *grid.Real {
 		l := opt.NewLBFGS()
 		l.InitialStep = e.Cfg.LearningRate
 		for it := 0; it < e.Cfg.Iterations; it++ {
-			l.Step(p.Data, lossGrad)
+			loss := l.Step(p.Data, lossGrad)
+			opt.Beat(sim.Ctx, it, loss)
 		}
 	} else {
 		adam := opt.NewAdam(len(p.Data), e.Cfg.LearningRate)
 		for it := 0; it < e.Cfg.Iterations; it++ {
-			_, g := lossGrad(p.Data)
+			loss, g := lossGrad(p.Data)
 			adam.Step(p.Data, g)
+			opt.Beat(sim.Ctx, it, loss)
 		}
 	}
 	final := maskFromLatent(p, e.Cfg.MaskSteepness)
@@ -257,6 +259,7 @@ func (e *LevelSet) Optimize(sim *litho.Simulator, target *grid.Real) *grid.Real 
 			gradPhi[i] = res.GradM.Data[i] * (-steep) * mi * (1 - mi)
 		}
 		sgd.Step(phi.Data, gradPhi)
+		opt.Beat(sim.Ctx, it, res.Loss)
 		if (it+1)%reinit == 0 {
 			bin := grid.NewReal(phi.W, phi.H)
 			for i, v := range phi.Data {
@@ -305,6 +308,7 @@ func (e *MultiLevel) Optimize(sim *litho.Simulator, target *grid.Real) *grid.Rea
 		if coarseSim, err := litho.New(sim.Cfg, sim.N/2); err == nil {
 			coarseSim.KOpt = sim.KOpt
 			coarseSim.Workers = sim.Workers
+			coarseSim.Ctx = sim.Ctx // cancellation and heartbeats span both stages
 			ct := grid.DownsampleBox(target, 2).Binarize(0.5)
 			croi := e.Cfg.roiFor(coarseSim, ct)
 			cp := latentInit(ct, e.Cfg.BackgroundBias)
@@ -321,6 +325,7 @@ func (e *MultiLevel) Optimize(sim *litho.Simulator, target *grid.Real) *grid.Rea
 					}
 				}
 				adam.Step(cp.Data, gradP)
+				opt.Beat(sim.Ctx, it, res.Loss)
 			}
 			p = grid.UpsampleBilinear(cp, 2)
 		}
@@ -340,6 +345,7 @@ func (e *MultiLevel) Optimize(sim *litho.Simulator, target *grid.Real) *grid.Rea
 			}
 		}
 		adam.Step(p.Data, gradP)
+		opt.Beat(sim.Ctx, it, res.Loss)
 	}
 	final := maskFromLatent(p, e.Cfg.MaskSteepness)
 	if roi != nil {

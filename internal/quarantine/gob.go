@@ -1,0 +1,18 @@
+package quarantine
+
+import (
+	"bytes"
+	"encoding/gob"
+)
+
+func encodeGob(b *Bundle) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(b); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeGob(payload []byte, b *Bundle) error {
+	return gob.NewDecoder(bytes.NewReader(payload)).Decode(b)
+}
