@@ -24,15 +24,22 @@
 // the rect geometry, -stream skips the dense stitched mask entirely, and
 // -mask-out streams the mask to a PGM file in row bands, so peak memory
 // scales with the window size, not the grid.
+//
+// With -proc-workers N tiles run in supervised worker subprocesses (the
+// binary re-executes itself as its own worker, or -worker-bin names
+// one): a crashed worker costs one dispatch, not the run, and output
+// stays byte-identical to the in-process flow.
 package main
 
 import (
 	"bufio"
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/exec"
 	"os/signal"
 	"path/filepath"
 	"strings"
@@ -50,11 +57,23 @@ import (
 	"cfaopc/internal/litho"
 	"cfaopc/internal/metrics"
 	"cfaopc/internal/optics"
+	"cfaopc/internal/procpool"
+	"cfaopc/internal/procworker"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("cfaopc: ")
+
+	if procpool.InWorker() {
+		// Spawned as our own tile worker (the -proc-workers default):
+		// serve frames on stdin/stdout and exit. Flags are ignored —
+		// every knob a tile needs travels inside its task.
+		if err := procworker.Serve(os.Stdin, os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	var (
 		caseID      = flag.Int("case", 0, "synthetic benchmark case (1-10)")
@@ -77,6 +96,10 @@ func main() {
 		ckptCompact = flag.Bool("checkpoint-compact", false, "compact the -checkpoint journal (drop superseded records) and exit without optimizing")
 		partialEvry = flag.Int("partial-every", 0, "tiled flow: journal mid-tile optimizer snapshots every N iterations (0 = off; needs -checkpoint)")
 		quarDir     = flag.String("quarantine-dir", "", "tiled flow: write a repro bundle here for every tile that degrades to empty (replay with cmd/replaytile)")
+		quarMaxN    = flag.Int("quarantine-max-bundles", 0, "retention cap on quarantine bundles; oldest .qrb+.json pairs pruned first (0 = unlimited)")
+		quarMaxB    = flag.Int64("quarantine-max-bytes", 0, "retention byte budget for quarantine .qrb files (0 = unlimited)")
+		procWorkers = flag.Int("proc-workers", 0, "tiled flow: run tiles in this many supervised worker subprocesses (0 = in-process; overrides -tile-workers)")
+		workerBin   = flag.String("worker-bin", "", "tiled flow: worker binary for -proc-workers (default: re-execute this binary)")
 		stream      = flag.Bool("stream", false, "tiled flow: memory-bounded run — never materialize the dense stitched mask (skips the aerial-image metrics; shot list stays the output)")
 		maskOut     = flag.String("mask-out", "", "tiled flow: stream the stitched mask to this PGM file in row bands (works with or without -stream)")
 		compact     = flag.Bool("compact", false, "remove shots that are redundant for the final union (print-identical)")
@@ -102,6 +125,16 @@ func main() {
 		log.Fatal("-checkpoint-compact needs -checkpoint <path> naming the journal to compact")
 	case *quarDir != "" && *tileCore <= 0:
 		log.Fatal("-quarantine-dir needs the tiled flow; set -tile-core > 0")
+	case (*quarMaxN > 0 || *quarMaxB > 0) && *quarDir == "":
+		log.Fatal("-quarantine-max-bundles / -quarantine-max-bytes bound a quarantine directory; set -quarantine-dir")
+	case *quarMaxN < 0 || *quarMaxB < 0:
+		log.Fatal("-quarantine-max-bundles and -quarantine-max-bytes must be >= 0")
+	case *procWorkers < 0:
+		log.Fatal("-proc-workers must be >= 0")
+	case *procWorkers > 0 && *tileCore <= 0:
+		log.Fatal("-proc-workers needs the tiled flow; set -tile-core > 0")
+	case *workerBin != "" && *procWorkers <= 0:
+		log.Fatal("-worker-bin only applies with -proc-workers > 0")
 	}
 	if *quarDir != "" {
 		// Probe writability now, not at the first quarantined tile.
@@ -115,10 +148,25 @@ func main() {
 		os.Remove(probe)
 	}
 
-	// SIGINT/SIGTERM cancels the run cooperatively: in-flight tiles stop
-	// within one kernel convolution, checkpointed tiles stay on disk.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
+	// Two-stage shutdown. The first SIGINT/SIGTERM drains the tiled
+	// flow: no new tiles dispatch, in-flight tiles finish and are
+	// checkpointed, and the run exits nonzero with a drained summary. A
+	// second signal cancels hard — in-flight tiles stop within one
+	// kernel convolution. A third falls through to the default handler.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	drainCh := make(chan struct{})
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigCh
+		log.Print("signal: draining — in-flight tiles finish and checkpoint; signal again to cancel hard")
+		close(drainCh)
+		<-sigCh
+		log.Print("signal: hard cancel")
+		cancel()
+		signal.Reset(os.Interrupt, syscall.SIGTERM)
+	}()
 
 	var l *layout.Layout
 	switch {
@@ -211,7 +259,26 @@ func main() {
 			CheckpointPath: *ckptPath,
 			// -stream drops the dense stitched mask; the shot list is the
 			// product, and -mask-out can still write the mask in bands.
-			KeepMask: !*stream,
+			KeepMask:             !*stream,
+			Drain:                drainCh,
+			QuarantineMaxBundles: *quarMaxN,
+			QuarantineMaxBytes:   *quarMaxB,
+		}
+		if *procWorkers > 0 {
+			bin := *workerBin
+			if bin == "" {
+				exe, err := os.Executable()
+				if err != nil {
+					log.Fatalf("-proc-workers: cannot locate own binary (%v); set -worker-bin", err)
+				}
+				bin = exe
+			}
+			fCfg.ProcWorkers = *procWorkers
+			fCfg.WorkerCmd = func() *exec.Cmd {
+				cmd := exec.Command(bin)
+				cmd.Stderr = os.Stderr // worker diagnostics land on our stderr
+				return cmd
+			}
 		}
 		if *maskOut != "" {
 			var err error
@@ -234,6 +301,21 @@ func main() {
 		// rebuild this exact optimizer chain offline.
 		fCfg.Engines = engine.Meta(*method, fbName, engOpts)
 		res, err := flow.RunContext(ctx, l, fCfg)
+		if errors.Is(err, flow.ErrDrained) {
+			// Graceful shutdown: everything that finished is journaled;
+			// no stitched output is written (the shot list is incomplete
+			// by construction, and a partial band file would be torn).
+			fmt.Printf("drained: %d of %d tiles completed and checkpointed; no stitched output written\n",
+				res.Completed, res.Tiles)
+			if res.ProcCrashes > 0 || res.Broken > 0 {
+				fmt.Printf("proc: %d worker crashes survived, %d slots circuit-broken to in-process\n",
+					res.ProcCrashes, res.Broken)
+			}
+			if *ckptPath != "" {
+				fmt.Printf("resume: re-run with the same flags and -checkpoint %s\n", *ckptPath)
+			}
+			os.Exit(3)
+		}
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -250,15 +332,22 @@ func main() {
 				occupied++
 			}
 		}
-		fmt.Printf("flow: %d windows (%d occupied), tile-workers %d, peak flow memory ≈ %.1f MB\n",
-			res.Tiles, occupied, *tileWorkers, float64(res.PeakBytes)/(1<<20))
+		pool := fmt.Sprintf("tile-workers %d", *tileWorkers)
+		if *procWorkers > 0 {
+			pool = fmt.Sprintf("proc-workers %d", *procWorkers)
+		}
+		fmt.Printf("flow: %d windows (%d occupied), %s, peak flow memory ≈ %.1f MB\n",
+			res.Tiles, occupied, pool, float64(res.PeakBytes)/(1<<20))
 		for _, ts := range res.TileStats {
 			if !ts.Occupied {
 				continue
 			}
 			note := ""
+			if ts.Proc {
+				note = "  [proc]"
+			}
 			if ts.Resumed {
-				note = "  [resumed]"
+				note += "  [resumed]"
 			}
 			if ts.Path != flow.PathPrimary {
 				note += "  [" + ts.Path + "]"
@@ -272,12 +361,19 @@ func main() {
 			if ts.Bundle != "" {
 				note += "  [quarantined: " + ts.Bundle + "]"
 			}
+			if ts.ProcCrashes > 0 {
+				note += fmt.Sprintf("  [%d worker crashes]", ts.ProcCrashes)
+			}
 			fmt.Printf("  tile %2d core(%3d,%3d): shots %3d  wall %s%s\n",
 				ts.Index, ts.CX, ts.CY, ts.Shots, ts.Wall.Round(time.Millisecond), note)
 		}
 		if res.Retried+res.Fallbacks+res.Empty+res.Resumed+res.Stalled > 0 {
 			fmt.Printf("faults: %d retried, %d fallback, %d empty, %d resumed from checkpoint, %d stalled, %d quarantined\n",
 				res.Retried, res.Fallbacks, res.Empty, res.Resumed, res.Stalled, res.Quarantined)
+		}
+		if res.ProcCrashes > 0 || res.Broken > 0 {
+			fmt.Printf("proc: %d worker crashes survived, %d slots circuit-broken to in-process\n",
+				res.ProcCrashes, res.Broken)
 		}
 	} else {
 		mask, shots = optimize(sim, target)

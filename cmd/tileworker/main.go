@@ -1,0 +1,23 @@
+// Command tileworker is the standalone tile-worker binary for the
+// tiled flow's -proc-workers mode: it speaks the procpool frame
+// protocol on stdin/stdout and runs each dispatched window through the
+// engine chain its task names. cmd/cfaopc re-executes itself as its own
+// worker by default, so this binary exists for deployments that want
+// the worker pinned to a separate (smaller, or differently sandboxed)
+// executable via -worker-bin.
+package main
+
+import (
+	"log"
+	"os"
+
+	"cfaopc/internal/procworker"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tileworker: ")
+	if err := procworker.Serve(os.Stdin, os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"cfaopc/internal/grid"
 	"cfaopc/internal/litho"
 	"cfaopc/internal/opt"
+	"cfaopc/internal/procpool"
 )
 
 // TileInfo identifies the window an optimizer invocation is serving. The
@@ -21,6 +22,11 @@ type TileInfo struct {
 	Index   int // row-major window index
 	Attempt int // 0-based attempt counter; the fallback attempt is TileRetries+1
 	CX, CY  int // core origin in full-grid pixels
+	// Dispatch counts how many times the tile has been handed to a
+	// worker process (always 0 in-process). Process-fatal fault scripts
+	// (Fault.Kill) key on it so a scripted crash-loop terminates
+	// deterministically.
+	Dispatch int
 }
 
 type tileInfoKey struct{}
@@ -58,6 +64,15 @@ type Fault struct {
 	// BadRadius returns one shot with a radius far outside any sane
 	// [RMin, RMax] bound, exercising the radius check.
 	BadRadius bool
+	// Kill, when > 0, SIGKILLs the whole process — mid-tile, no reply,
+	// no cleanup — while the tile's dispatch counter is below Kill, but
+	// only inside a tile-worker subprocess (procpool.InWorker). Kill: 1
+	// scripts one crash followed by a clean redispatch; a huge Kill
+	// scripts a crash loop that must trip the supervisor's circuit
+	// breaker. In-process runs ignore it entirely, which is what lets
+	// one fault plan drive a proc run and its serial reference to
+	// byte-identical output.
+	Kill int
 }
 
 // FaultPlan maps a tile index to its per-attempt fault scripts: attempt
@@ -81,6 +96,9 @@ func InjectFaults(opt Optimizer, plan FaultPlan) Optimizer {
 			return opt(sim, target)
 		}
 		f := script[info.Attempt]
+		if f.Kill > 0 && info.Dispatch < f.Kill && procpool.InWorker() {
+			procpool.SelfKill()
+		}
 		if f.Stall {
 			// Wedge silently until killed: no heartbeats, no return.
 			<-sim.Ctx.Done()

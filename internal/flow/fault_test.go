@@ -267,6 +267,8 @@ func sameResult(t *testing.T, got, want *Result) {
 		g.Wall, w.Wall = 0, 0
 		g.RasterWall, w.RasterWall = 0, 0
 		g.Resumed, w.Resumed = false, false
+		g.Proc, w.Proc = false, false
+		g.ProcCrashes, w.ProcCrashes = 0, 0
 		if g != w {
 			t.Fatalf("stat %d differs: %+v vs %+v", i, g, w)
 		}

@@ -68,9 +68,11 @@ import (
 	"fmt"
 	"hash/fnv"
 	"math"
+	"os/exec"
 	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"cfaopc/internal/checkpoint"
@@ -90,6 +92,12 @@ type Optimizer func(sim *litho.Simulator, target *grid.Real) (*grid.Real, []geom
 // no heartbeat arrived within Config.StallTimeout, so the attempt was
 // wedged, not slow.
 var ErrStalled = errors.New("optimizer stalled")
+
+// ErrDrained marks a run stopped by Config.Drain: no new tiles were
+// dispatched after the drain signal, in-flight tiles finished and were
+// checkpointed, and RunContext returned the partial Result alongside
+// this error — the only error RunContext pairs with a non-nil Result.
+var ErrDrained = errors.New("flow: run drained before completion")
 
 // Config controls the tiling.
 type Config struct {
@@ -183,6 +191,79 @@ type Config struct {
 	// stream out as their contributing tile rows complete; without a
 	// radius bound they are all emitted when the last tile finishes.
 	MaskWriter MaskWriter
+
+	// ProcWorkers, when > 0, dispatches tiles to that many supervised
+	// worker subprocesses instead of in-process goroutines, so a
+	// process-fatal tile failure (OOM kill, runtime fatal, wedged FFT)
+	// costs one dispatch, not the run. Each worker slot detects
+	// crash/EOF/heartbeat silence, respawns its process with exponential
+	// backoff and jitter, and circuit-breaks to the in-process
+	// degradation ladder after ProcCrashLimit consecutive failures — the
+	// run always completes. The determinism contract extends across the
+	// process boundary: for any mix of proc and in-process execution,
+	// crashes, respawns, and checkpoint resume, the stitched shot list
+	// and streamed bands are byte-identical to the serial in-process
+	// run. TileWorkers is ignored when ProcWorkers is set.
+	ProcWorkers int
+	// WorkerCmd builds one worker subprocess command (required when
+	// ProcWorkers > 0; must be safe to call concurrently). The
+	// supervisor forces procpool.WorkerEnv=1 into its environment; the
+	// child must detect that (procpool.InWorker) and serve frames on
+	// stdin/stdout — cmd/tileworker, or any binary embedding
+	// internal/procworker.
+	WorkerCmd func() *exec.Cmd
+	// ProcCrashLimit is how many consecutive failed dispatches break a
+	// worker slot to in-process execution. Zero means the default (3).
+	ProcCrashLimit int
+	// ProcSilence kills a worker that emits no frame (ping, heartbeat,
+	// snapshot, reply) for this long while a task is in flight — the
+	// cross-process analogue of StallTimeout, catching a process that is
+	// alive but wedged beyond even its ping loop. Zero means the default
+	// (10s); it should comfortably exceed the worker's ~100ms ping
+	// cadence.
+	ProcSilence time.Duration
+	// ProcBackoff is the base delay before respawning a crashed worker;
+	// it doubles per consecutive crash (capped at 2s) with jitter so a
+	// crash-looping fleet does not respawn in lockstep. Zero means the
+	// default (50ms).
+	ProcBackoff time.Duration
+
+	// Drain, when non-nil and closed mid-run, stops dispatching new
+	// tiles: in-flight tiles finish and are journaled, the checkpoint is
+	// synced, and RunContext returns its partial Result with ErrDrained.
+	// This is the graceful half of two-stage shutdown; hard cancellation
+	// stays on the context.
+	Drain <-chan struct{}
+
+	// QuarantineMaxBundles / QuarantineMaxBytes bound the quarantine
+	// directory: after each bundle write the oldest .qrb+.json pairs are
+	// pruned until both budgets hold (zero = unlimited on that axis).
+	// The just-written bundle is the newest, so it always survives.
+	QuarantineMaxBundles int
+	QuarantineMaxBytes   int64
+}
+
+// procCrashLimit / procSilence / procBackoff resolve the supervision
+// defaults documented on Config.
+func (cfg Config) procCrashLimit() int {
+	if cfg.ProcCrashLimit > 0 {
+		return cfg.ProcCrashLimit
+	}
+	return 3
+}
+
+func (cfg Config) procSilence() time.Duration {
+	if cfg.ProcSilence > 0 {
+		return cfg.ProcSilence
+	}
+	return 10 * time.Second
+}
+
+func (cfg Config) procBackoff() time.Duration {
+	if cfg.ProcBackoff > 0 {
+		return cfg.ProcBackoff
+	}
+	return 50 * time.Millisecond
 }
 
 // withInjectedFaults resolves Config.Faults into wrapped optimizers.
@@ -234,6 +315,16 @@ type TileStat struct {
 	// Bundle is the quarantine repro bundle path for a tile that
 	// degraded to empty ("" otherwise, or when no QuarantineDir is set).
 	Bundle string
+
+	// Proc marks a tile whose final result came from a worker
+	// subprocess; a tile computed in-process (serial mode, or a
+	// circuit-broken slot) leaves it false.
+	Proc bool
+	// ProcCrashes counts failed dispatches (worker death, silence kill,
+	// or a worker-reported task error) suffered while this tile was in
+	// flight; the tile still completed through respawn or the
+	// in-process breaker path.
+	ProcCrashes int
 }
 
 // AttemptOutcome records one optimizer invocation for forensics: it
@@ -263,6 +354,15 @@ type Result struct {
 	Resumed     int // tiles replayed from the checkpoint journal
 	Stalled     int // tiles where the stall watchdog killed an attempt
 	Quarantined int // tiles that wrote a quarantine repro bundle
+
+	// Completed counts tiles accounted for (computed or replayed); it
+	// equals Tiles except on a drained run.
+	Completed int
+	// ProcCrashes totals failed worker dispatches across the run;
+	// Broken counts worker slots that circuit-broke to in-process
+	// execution. Both stay zero without ProcWorkers.
+	ProcCrashes int
+	Broken      int
 
 	// PeakBytes estimates the peak bytes of flow-owned buffers held
 	// resident during the run: the layout span index, one window target
@@ -366,6 +466,27 @@ type runEnv struct {
 	journal   *checkpoint.Journal
 	partials  map[int]partialRecord
 	errCh     chan error
+
+	// partialSink receives mid-attempt optimizer snapshots (journal
+	// append in a tiled run, a wire frame in a worker); nil disables
+	// snapshotting regardless of PartialEvery.
+	partialSink func(index, attempt int, s opt.Snapshot)
+	// onBeat, when non-nil, observes every optimizer heartbeat in
+	// addition to the per-attempt stall watchdog — a worker forwards
+	// them to its supervisor as liveness frames.
+	onBeat func(index, iter int, loss float64)
+	// dispatch is published on TileInfo (always 0 in-process; a
+	// worker's redispatch counter otherwise).
+	dispatch int
+
+	// Proc mode: one shared in-process simulator serves every
+	// circuit-broken slot (serialized by fbMu), and the crash/breaker
+	// totals accumulate across slots.
+	fbSim       *litho.Simulator
+	fbMu        sync.Mutex
+	quarMu      sync.Mutex // serializes bundle saves with retention pruning
+	procCrashes atomic.Int64
+	procBroken  atomic.Int64
 }
 
 // reportErr surfaces the first asynchronous failure; later ones drop.
@@ -486,11 +607,19 @@ func (env *runEnv) attemptTile(ctx context.Context, sim *litho.Simulator, optimi
 	tctx, cancelCause := context.WithCancelCause(tctx)
 	defer cancelCause(nil)
 	tctx = context.WithValue(tctx, tileInfoKey{}, TileInfo{
-		Index: j.index, Attempt: attempt, CX: j.cx, CY: j.cy,
+		Index: j.index, Attempt: attempt, CX: j.cx, CY: j.cy, Dispatch: env.dispatch,
 	})
 	hb := newBeatState()
-	tctx = opt.WithProgress(tctx, hb.beat)
-	if env.journal != nil && cfg.PartialEvery > 0 {
+	beat := hb.beat
+	if env.onBeat != nil {
+		index := j.index
+		beat = func(iter int, loss float64, at time.Time) {
+			hb.beat(iter, loss, at)
+			env.onBeat(index, iter, loss)
+		}
+	}
+	tctx = opt.WithProgress(tctx, beat)
+	if env.partialSink != nil && cfg.PartialEvery > 0 {
 		index := j.index
 		tctx = opt.WithSnapshots(tctx, func(s opt.Snapshot) {
 			// A canceled attempt's parameters are garbage-contaminated
@@ -499,7 +628,7 @@ func (env *runEnv) attemptTile(ctx context.Context, sim *litho.Simulator, optimi
 			if tctx.Err() != nil {
 				return
 			}
-			env.appendPartial(index, attempt, s)
+			env.partialSink(index, attempt, s)
 		}, cfg.PartialEvery)
 	}
 	if p, ok := env.partials[j.index]; ok && p.Attempt == attempt {
@@ -649,6 +778,19 @@ func (env *runEnv) runTile(ctx context.Context, sim *litho.Simulator, j tileJob)
 		return out
 	}
 
+	env.ladder(ctx, sim, j, target, &out)
+	return out
+}
+
+// ladder walks the in-process degradation sequence for one rasterized
+// window and folds the outcome into out — the shared tail of runTile,
+// a circuit-broken proc slot, and ReplayWindow-style single-window
+// runs.
+func (env *runEnv) ladder(ctx context.Context, sim *litho.Simulator, j tileJob,
+	target *grid.Real, out *tileOut) {
+	cfg := env.cfg
+	ox := j.cx - cfg.HaloPx
+	oy := j.cy - cfg.HaloPx
 	shots, path, outcomes := env.attemptSequence(ctx, sim, j, target)
 	out.stat.Path = path
 	applyOutcomes(&out.stat, outcomes)
@@ -657,16 +799,32 @@ func (env *runEnv) runTile(ctx context.Context, sim *litho.Simulator, j tileJob)
 		out.shots = ownedShots(shots, ox, oy, j.cx, j.cy, cfg.CorePx)
 		out.stat.Shots = len(out.shots)
 	case PathEmpty:
-		if cfg.QuarantineDir != "" {
-			bpath, err := quarantine.Save(cfg.QuarantineDir, env.buildBundle(j, target, outcomes))
-			if err != nil {
-				env.reportErr(fmt.Errorf("quarantine: %w", err))
-			} else {
-				out.stat.Bundle = bpath
-			}
+		env.saveQuarantine(j, target, outcomes, &out.stat)
+	}
+}
+
+// saveQuarantine writes the repro bundle for a tile that degraded to
+// empty and then enforces the retention budget. Saves and prunes are
+// serialized under quarMu so concurrent empty tiles cannot race the
+// budget accounting.
+func (env *runEnv) saveQuarantine(j tileJob, target *grid.Real, outcomes []AttemptOutcome, st *TileStat) {
+	cfg := env.cfg
+	if cfg.QuarantineDir == "" {
+		return
+	}
+	env.quarMu.Lock()
+	defer env.quarMu.Unlock()
+	bpath, err := quarantine.Save(cfg.QuarantineDir, env.buildBundle(j, target, outcomes))
+	if err != nil {
+		env.reportErr(fmt.Errorf("quarantine: %w", err))
+		return
+	}
+	st.Bundle = bpath
+	if cfg.QuarantineMaxBundles > 0 || cfg.QuarantineMaxBytes > 0 {
+		if _, perr := quarantine.Prune(cfg.QuarantineDir, cfg.QuarantineMaxBundles, cfg.QuarantineMaxBytes); perr != nil {
+			env.reportErr(perr)
 		}
 	}
-	return out
 }
 
 // buildBundle assembles the self-contained repro artifact for a tile
@@ -705,7 +863,7 @@ func (env *runEnv) buildBundle(j tileJob, target *grid.Real, outcomes []AttemptO
 	for _, f := range env.rawFaults[j.index] {
 		b.Faults = append(b.Faults, quarantine.Fault{
 			Sleep: f.Sleep, BeatEvery: f.BeatEvery, Stall: f.Stall,
-			Panic: f.Panic, NaN: f.NaN, BadRadius: f.BadRadius,
+			Panic: f.Panic, NaN: f.NaN, BadRadius: f.BadRadius, Kill: f.Kill,
 		})
 	}
 	for _, o := range outcomes {
@@ -841,6 +999,12 @@ func RunContext(ctx context.Context, l *layout.Layout, cfg Config) (*Result, err
 	case cfg.StallTimeout > 0 && cfg.TileTimeout > 0 && cfg.StallTimeout > cfg.TileTimeout:
 		return nil, fmt.Errorf("flow: stall timeout %s exceeds tile timeout %s (the wall deadline would always fire first)",
 			cfg.StallTimeout, cfg.TileTimeout)
+	case cfg.ProcWorkers < 0:
+		return nil, fmt.Errorf("flow: negative proc workers %d", cfg.ProcWorkers)
+	case cfg.ProcWorkers > 0 && cfg.WorkerCmd == nil:
+		return nil, fmt.Errorf("flow: ProcWorkers set but no WorkerCmd to spawn them with")
+	case cfg.ProcWorkers > 0 && cfg.Engines.Primary == "":
+		return nil, fmt.Errorf("flow: ProcWorkers requires Engines metadata (the worker rebuilds the optimizer chain from it)")
 	}
 	window := cfg.CorePx + 2*cfg.HaloPx
 	if window > cfg.GridN {
@@ -873,6 +1037,11 @@ func RunContext(ctx context.Context, l *layout.Layout, cfg Config) (*Result, err
 	cols := (cfg.GridN + cfg.CorePx - 1) / cfg.CorePx
 	rows := nTiles / cols
 	outs := make([]tileOut, nTiles)
+	// Prefill identity so a drained run's stats stay truthful for tiles
+	// that were never dispatched.
+	for _, j := range jobs {
+		outs[j.index].stat = TileStat{Index: j.index, CX: j.cx, CY: j.cy}
+	}
 
 	var asm *bandAssembler
 	if cfg.MaskWriter != nil {
@@ -891,6 +1060,7 @@ func RunContext(ctx context.Context, l *layout.Layout, cfg Config) (*Result, err
 		}
 		defer journal.Close()
 		env.journal = journal
+		env.partialSink = env.appendPartial
 		done := make(map[int]bool, len(payloads))
 		partials := make(map[int]partialRecord)
 		for _, p := range payloads {
@@ -945,56 +1115,102 @@ func RunContext(ctx context.Context, l *layout.Layout, cfg Config) (*Result, err
 			}
 		}
 	}
+	procMode := cfg.ProcWorkers > 0
 	workers := tileWorkerCount(cfg.TileWorkers, len(jobs))
+	if procMode {
+		workers = tileWorkerCount(cfg.ProcWorkers, len(jobs))
+	}
 
-	// Per-worker simulators are built serially up front so a kernel error
-	// surfaces before any goroutine starts.
-	sims := make([]*litho.Simulator, workers)
-	for i := range sims {
+	// Simulators are built serially up front so a kernel error surfaces
+	// before any goroutine starts: one per tile worker in-process, or a
+	// single shared fallback simulator for circuit-broken slots in proc
+	// mode (worker subprocesses build their own).
+	newSim := func() (*litho.Simulator, error) {
 		sim, err := litho.New(oCfg, window)
 		if err != nil {
 			return nil, err
 		}
 		sim.KOpt = cfg.KOpt
 		sim.Workers = cfg.Workers
-		sims[i] = sim
+		return sim, nil
+	}
+	var sims []*litho.Simulator
+	if procMode {
+		sim, err := newSim()
+		if err != nil {
+			return nil, err
+		}
+		env.fbSim = sim
+	} else {
+		sims = make([]*litho.Simulator, workers)
+		for i := range sims {
+			sim, err := newSim()
+			if err != nil {
+				return nil, err
+			}
+			sims[i] = sim
+		}
 	}
 
 	// Streaming path: no full-grid raster is ever allocated. Workers
 	// rasterize each window on demand from the row-bucketed span index.
 	env.ix = layout.NewWindowIndex(l, cfg.GridN)
+
+	// complete folds one finished tile into the shared run state. It is
+	// the single sink both in-process workers and proc slots feed, so
+	// checkpointing and band streaming behave identically in every mode.
+	var completed atomic.Int64
+	completed.Store(int64(resumed))
+	complete := func(j tileJob, out tileOut) {
+		outs[j.index] = out
+		completed.Add(1)
+		if asm != nil && ctx.Err() == nil {
+			asm.tileDone(j.index/cols, out.shots)
+		}
+		if env.journal != nil && ctx.Err() == nil {
+			buf, err := encodeRecord(journalRecord{Tile: &tileRecord{Shots: out.shots, Stat: out.stat}})
+			if err == nil {
+				err = env.journal.Append(buf)
+			}
+			if err != nil {
+				env.reportErr(fmt.Errorf("checkpoint append: %w", err))
+			}
+		}
+	}
+
 	jobCh := make(chan tileJob)
 	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(sim *litho.Simulator) {
-			defer wg.Done()
-			for j := range jobCh {
-				if ctx.Err() != nil {
-					continue // drain without work so the feeder never blocks
-				}
-				out := env.runTile(ctx, sim, j)
-				outs[j.index] = out
-				if asm != nil && ctx.Err() == nil {
-					asm.tileDone(j.index/cols, out.shots)
-				}
-				if env.journal != nil && ctx.Err() == nil {
-					buf, err := encodeRecord(journalRecord{Tile: &tileRecord{Shots: out.shots, Stat: out.stat}})
-					if err == nil {
-						err = env.journal.Append(buf)
+	if procMode {
+		for s := 0; s < workers; s++ {
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				env.runProcSlot(ctx, id, jobCh, complete)
+			}(s)
+		}
+	} else {
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(sim *litho.Simulator) {
+				defer wg.Done()
+				for j := range jobCh {
+					if ctx.Err() != nil {
+						continue // drain without work so the feeder never blocks
 					}
-					if err != nil {
-						env.reportErr(fmt.Errorf("checkpoint append: %w", err))
-					}
+					complete(j, env.runTile(ctx, sim, j))
 				}
-			}
-		}(sims[w])
+			}(sims[w])
+		}
 	}
+	drained := false
 feed:
 	for _, j := range jobs {
 		select {
 		case jobCh <- j:
 		case <-ctx.Done():
+			break feed
+		case <-cfg.Drain: // nil channel: never fires
+			drained = true
 			break feed
 		}
 	}
@@ -1008,7 +1224,7 @@ feed:
 		return nil, fmt.Errorf("flow: %w", err)
 	default:
 	}
-	if asm != nil {
+	if asm != nil && !drained {
 		// Every tile has completed, so this drains the remaining bands in
 		// order and surfaces any writer error from mid-run emissions.
 		if err := asm.finish(); err != nil {
@@ -1039,29 +1255,77 @@ feed:
 			res.Quarantined++
 		}
 	}
+	res.Completed = int(completed.Load())
+	res.ProcCrashes = int(env.procCrashes.Load())
+	res.Broken = int(env.procBroken.Load())
+	res.PeakBytes = estimatePeakBytes(cfg, window, workers, env.ix.Bytes(), len(res.Shots))
+	if drained {
+		// Graceful shutdown: hand back the partial result for reporting,
+		// but no stitched mask — the shot list is incomplete by
+		// construction. The journal is synced so a resume picks up
+		// exactly where the drain stopped dispatch.
+		if env.journal != nil {
+			if err := env.journal.Sync(); err != nil {
+				return nil, fmt.Errorf("flow: %w", err)
+			}
+		}
+		return res, ErrDrained
+	}
 	if cfg.KeepMask {
 		res.Mask = geom.RasterizeCircles(cfg.GridN, cfg.GridN, res.Shots)
 	}
-	res.PeakBytes = estimatePeakBytes(cfg, window, workers, env.ix.Bytes(), len(res.Shots))
 	return res, nil
 }
 
-// ReplayWindow re-runs one window's exact degradation sequence (primary
-// → retries → fallback → empty) on an explicit target raster, outside
-// any tiled run — the offline entry point cmd/replaytile uses on
-// quarantine bundles. cfg.Faults is honored, so a bundle's recorded
-// script re-injects the same deterministic failures. The returned shots
-// are window-local (no core-ownership filtering), and no checkpoint or
-// quarantine side effects are performed; the stat and outcomes mirror
-// what a live run would have recorded.
-func ReplayWindow(ctx context.Context, sim *litho.Simulator, cfg Config, index, cx, cy int,
-	target *grid.Real) ([]geom.Circle, TileStat, []AttemptOutcome) {
+// WindowHooks observes and seeds a single-window run (RunWindow)
+// without the journal/quarantine machinery of a tiled run — the knobs
+// a tile-worker subprocess needs to stream liveness and resume state
+// across the process boundary.
+type WindowHooks struct {
+	// Dispatch is published on TileInfo as the tile's redispatch
+	// counter, the key process-fatal fault scripts fire on.
+	Dispatch int
+	// OnBeat observes every optimizer heartbeat (iteration, loss).
+	OnBeat func(iter int, loss float64)
+	// OnPartial receives mid-attempt snapshots every cfg.PartialEvery
+	// iterations (nil, or PartialEvery <= 0, disables them).
+	OnPartial func(attempt int, s opt.Snapshot)
+	// Resume warm-starts attempt ResumeAttempt from a prior snapshot,
+	// replaying the uninterrupted trajectory exactly.
+	Resume        *opt.Snapshot
+	ResumeAttempt int
+}
+
+// RunWindow runs one window's exact degradation sequence (primary →
+// retries → fallback → empty) on an explicit target raster, outside any
+// tiled run. cfg.Faults is honored, so a recorded script re-injects the
+// same deterministic failures. The returned shots are window-local (no
+// core-ownership filtering), and no checkpoint or quarantine side
+// effects are performed; the stat and outcomes mirror what a live run
+// would have recorded. It backs both offline bundle replay
+// (cmd/replaytile) and live tile-worker subprocesses (ServeTask).
+func RunWindow(ctx context.Context, sim *litho.Simulator, cfg Config, index, cx, cy int,
+	target *grid.Real, hooks WindowHooks) ([]geom.Circle, TileStat, []AttemptOutcome) {
 	start := time.Now()
 	env := &runEnv{
 		cfg:       cfg.withInjectedFaults(),
 		rawFaults: cfg.Faults,
 		window:    target.W,
 		optics:    sim.Cfg,
+		dispatch:  hooks.Dispatch,
+	}
+	if hooks.OnBeat != nil {
+		env.onBeat = func(_, iter int, loss float64) { hooks.OnBeat(iter, loss) }
+	}
+	if hooks.OnPartial != nil {
+		env.partialSink = func(_, attempt int, s opt.Snapshot) { hooks.OnPartial(attempt, s) }
+	}
+	if hooks.Resume != nil {
+		r := hooks.Resume
+		env.partials = map[int]partialRecord{index: {
+			Index: index, Attempt: hooks.ResumeAttempt, Iter: r.Iter, Loss: r.Loss,
+			Params: r.Params, OptT: r.OptT, OptM: r.OptM, OptV: r.OptV,
+		}}
 	}
 	j := tileJob{index: index, cx: cx, cy: cy}
 	shots, path, outcomes := env.attemptSequence(ctx, sim, j, target)
@@ -1074,6 +1338,13 @@ func ReplayWindow(ctx context.Context, sim *litho.Simulator, cfg Config, index, 
 	}
 	stat.Wall = time.Since(start)
 	return shots, stat, outcomes
+}
+
+// ReplayWindow is RunWindow with no hooks — the offline entry point
+// cmd/replaytile uses on quarantine bundles.
+func ReplayWindow(ctx context.Context, sim *litho.Simulator, cfg Config, index, cx, cy int,
+	target *grid.Real) ([]geom.Circle, TileStat, []AttemptOutcome) {
+	return RunWindow(ctx, sim, cfg, index, cx, cy, target, WindowHooks{})
 }
 
 // CompactCheckpoint rewrites cfg.CheckpointPath dropping superseded

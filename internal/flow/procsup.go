@@ -1,0 +1,329 @@
+package flow
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"cfaopc/internal/grid"
+	"cfaopc/internal/opt"
+	"cfaopc/internal/procpool"
+)
+
+// maxProcBackoff caps the exponential respawn delay so a long crash
+// loop stays responsive enough to reach the circuit breaker quickly.
+const maxProcBackoff = 2 * time.Second
+
+// procSlot is one supervised worker slot: a lane of the proc-mode pool
+// that owns at most one worker subprocess at a time. The slot — not the
+// process — is the unit of scheduling: a tile stays pinned to its slot
+// across worker crashes and respawns, and when the slot circuit-breaks
+// it degrades to the shared in-process simulator, so the run always
+// completes no matter how hostile the worker binary is.
+type procSlot struct {
+	env *runEnv
+	id  int
+
+	w           *procpool.Worker
+	consecutive int  // consecutive failed dispatches across tiles
+	broken      bool // circuit breaker tripped: in-process from here on
+
+	// resume is the freshest snapshot observed for the in-flight tile
+	// (from the journal at first dispatch, then from Partial frames), so
+	// a redispatch warm-starts instead of recomputing — and, because the
+	// optimizer state rides along, replays the exact same trajectory.
+	resume *procpool.PartialState
+
+	rng *rand.Rand // jitter; seeded per slot for determinism of tests
+}
+
+// runProcSlot is the proc-mode worker loop: one goroutine per slot,
+// consuming tiles from jobCh and completing each through dispatch →
+// respawn → circuit-break, mirroring the in-process worker loop's
+// contract (complete is called exactly once per received tile unless
+// the run is canceled).
+func (env *runEnv) runProcSlot(ctx context.Context, id int, jobCh <-chan tileJob, complete func(tileJob, tileOut)) {
+	s := &procSlot{env: env, id: id, rng: rand.New(rand.NewSource(int64(id) + 1))}
+	defer s.shutdown()
+	for j := range jobCh {
+		if ctx.Err() != nil {
+			continue // drain without work so the feeder never blocks
+		}
+		complete(j, s.runTileProc(ctx, j))
+	}
+}
+
+// runTileProc drives one tile to completion through the slot's worker:
+// rasterize supervisor-side, dispatch until a reply lands or the
+// breaker trips, then (broken) fall back to the shared in-process
+// degradation ladder. Every failed dispatch is counted on the tile and
+// the run.
+func (s *procSlot) runTileProc(ctx context.Context, j tileJob) tileOut {
+	env := s.env
+	cfg := env.cfg
+	start := time.Now()
+	ox := j.cx - cfg.HaloPx
+	oy := j.cy - cfg.HaloPx
+	target, occupied := env.ix.Window(ox, oy, env.window, env.window)
+	out := tileOut{stat: TileStat{Index: j.index, CX: j.cx, CY: j.cy, Occupied: occupied, RasterWall: time.Since(start)}}
+	defer func() { out.stat.Wall = time.Since(start) }()
+	if !occupied {
+		return out
+	}
+
+	// Seed the resume state from the journal replay (if the tile was
+	// half-finished when the previous run died).
+	s.resume = nil
+	if p, ok := env.partials[j.index]; ok {
+		s.resume = &procpool.PartialState{
+			Attempt: p.Attempt, Iter: p.Iter, Loss: p.Loss,
+			Params: p.Params, OptT: p.OptT, OptM: p.OptM, OptV: p.OptV,
+		}
+	}
+
+	dispatch := 0
+	for !s.broken && ctx.Err() == nil {
+		reply, ok := s.dispatch(ctx, j, target, dispatch)
+		if ok {
+			s.consecutive = 0
+			out.stat.ProcCrashes = dispatch
+			out.stat.Proc = true
+			env.applyReply(j, target, reply, &out)
+			return out
+		}
+		dispatch++
+		env.procCrashes.Add(1)
+		s.consecutive++
+		if s.consecutive >= cfg.procCrashLimit() {
+			s.breakSlot()
+		}
+	}
+	out.stat.ProcCrashes = dispatch
+	if ctx.Err() != nil {
+		return out
+	}
+	// Circuit-broken: the shared in-process simulator finishes the tile
+	// (and every later tile this slot draws). fbMu serializes slots on
+	// it; the output is identical to what a healthy worker would have
+	// produced, because both run the same ladder on the same target.
+	env.fbMu.Lock()
+	defer env.fbMu.Unlock()
+	env.ladder(ctx, env.fbSim, j, target, &out)
+	return out
+}
+
+// dispatch hands the tile to the slot's worker — spawning or respawning
+// one as needed — and awaits its reply. ok is false when the dispatch
+// failed (spawn error, worker death, silence kill, protocol garbage, or
+// a worker-reported task error) and the tile must be redispatched or
+// degraded.
+func (s *procSlot) dispatch(ctx context.Context, j tileJob, target *grid.Real, dispatchN int) (*procpool.Reply, bool) {
+	w, err := s.ensureWorker(ctx)
+	if err != nil || w == nil {
+		return nil, false
+	}
+	if err := w.Send(s.env.buildTask(j, target, dispatchN, s.resume)); err != nil {
+		s.killWorker()
+		return nil, false
+	}
+	return s.await(ctx, w, j)
+}
+
+// buildTask encodes one window as a procpool task. The quarantine
+// bundle schema doubles as the wire protocol — the payload is exactly
+// what a repro bundle holds, minus the attempt history a not-yet-run
+// tile does not have — plus the redispatch counter (which process-fatal
+// fault scripts key on) and the freshest snapshot to warm-start from.
+func (env *runEnv) buildTask(j tileJob, target *grid.Real, dispatch int, resume *procpool.PartialState) *procpool.Task {
+	cfg := env.cfg
+	t := &procpool.Task{
+		Bundle:   *env.buildBundle(j, target, nil),
+		Dispatch: dispatch,
+		Workers:  cfg.Workers,
+		Resume:   resume,
+	}
+	if env.journal != nil {
+		t.PartialEvery = cfg.PartialEvery
+	}
+	return t
+}
+
+// await consumes worker events until a reply for j arrives, the worker
+// dies, or it goes silent past ProcSilence. Any frame — ping, beat,
+// partial — counts as liveness; Partial frames are additionally
+// journaled and retained for redispatch, exactly like an in-process
+// snapshot.
+func (s *procSlot) await(ctx context.Context, w *procpool.Worker, j tileJob) (*procpool.Reply, bool) {
+	env := s.env
+	silence := env.cfg.procSilence()
+	timer := time.NewTimer(silence)
+	defer timer.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			s.killWorker()
+			return nil, false
+		case <-timer.C:
+			// Alive but mute beyond even its ping loop: wedged. Kill and
+			// let the dispatch counter decide respawn vs breaker.
+			s.killWorker()
+			return nil, false
+		case ev := <-w.Events():
+			if !timer.Stop() {
+				<-timer.C
+			}
+			timer.Reset(silence)
+			switch ev.Kind {
+			case procpool.EvExit:
+				s.w = nil
+				return nil, false
+			case procpool.EvPartial:
+				if ev.Partial.Index == j.index {
+					st := ev.Partial.State
+					s.resume = &st
+					if env.journal != nil && env.cfg.PartialEvery > 0 {
+						env.appendPartial(j.index, st.Attempt, opt.Snapshot{
+							Iter: st.Iter, Loss: st.Loss, Params: st.Params,
+							OptT: st.OptT, OptM: st.OptM, OptV: st.OptV,
+						})
+					}
+				}
+			case procpool.EvReply:
+				if ev.Reply.Index != j.index {
+					// Protocol confusion (a stale reply for some other
+					// tile): this worker cannot be trusted with the tile.
+					s.killWorker()
+					return nil, false
+				}
+				if ev.Reply.Err != "" {
+					// The worker is healthy but the task failed
+					// deterministically (bad payload, engine setup).
+					// Count it like a crash so the breaker bounds the
+					// retries and the tile still completes in-process.
+					return nil, false
+				}
+				return ev.Reply, true
+			}
+			// EvHello / EvPing / EvBeat: liveness only.
+		}
+	}
+}
+
+// applyReply folds a worker's reply into the tile's output, applying
+// the same ownership filter, stat bookkeeping and quarantine policy as
+// the in-process ladder — the supervisor stays the single authority on
+// what enters the stitched result.
+func (env *runEnv) applyReply(j tileJob, target *grid.Real, r *procpool.Reply, out *tileOut) {
+	cfg := env.cfg
+	ox := j.cx - cfg.HaloPx
+	oy := j.cy - cfg.HaloPx
+	var outcomes []AttemptOutcome
+	for _, o := range r.Outcomes {
+		outcomes = append(outcomes, AttemptOutcome{
+			Attempt: o.Attempt, Engine: o.Engine, Err: o.Err,
+			Iters: o.Iters, LastLoss: o.LastLoss, Stalled: o.Stalled,
+		})
+	}
+	out.stat.Path = r.Path
+	applyOutcomes(&out.stat, outcomes)
+	switch r.Path {
+	case PathPrimary, PathFallback:
+		out.shots = ownedShots(r.Shots, ox, oy, j.cx, j.cy, cfg.CorePx)
+		out.stat.Shots = len(out.shots)
+	case PathEmpty:
+		env.saveQuarantine(j, target, outcomes, &out.stat)
+	}
+}
+
+// ensureWorker returns the slot's live worker, spawning one — after the
+// crash-count-proportional backoff — when needed, and waiting for its
+// Hello handshake so a binary that is not a tile worker fails the
+// dispatch instead of wedging it.
+func (s *procSlot) ensureWorker(ctx context.Context) (*procpool.Worker, error) {
+	if s.w != nil {
+		return s.w, nil
+	}
+	if !s.backoffWait(ctx) {
+		return nil, ctx.Err()
+	}
+	w, err := procpool.Start(s.env.cfg.WorkerCmd())
+	if err != nil {
+		// A spawn failure (missing binary, fork limits) is a failed
+		// dispatch, not a run failure: the breaker degrades the slot to
+		// in-process and the run completes.
+		return nil, err
+	}
+	timer := time.NewTimer(s.env.cfg.procSilence())
+	defer timer.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			w.Kill()
+			return nil, ctx.Err()
+		case <-timer.C:
+			w.Kill()
+			return nil, fmt.Errorf("flow: worker pid %d sent no hello", w.PID())
+		case ev := <-w.Events():
+			switch ev.Kind {
+			case procpool.EvHello:
+				s.w = w
+				return w, nil
+			case procpool.EvExit:
+				return nil, fmt.Errorf("flow: worker died before hello: %v", ev.Err)
+			}
+		}
+	}
+}
+
+// backoffWait sleeps the exponential respawn delay for the current
+// consecutive-failure count (none after a clean dispatch), with jitter
+// so a crash-looping fleet does not respawn in lockstep. It reports
+// false when ctx was canceled during the wait.
+func (s *procSlot) backoffWait(ctx context.Context) bool {
+	if s.consecutive == 0 {
+		return true
+	}
+	d := s.env.cfg.procBackoff() << uint(s.consecutive-1)
+	if d > maxProcBackoff {
+		d = maxProcBackoff
+	}
+	d += time.Duration(s.rng.Int63n(int64(d)/2 + 1))
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// breakSlot trips the circuit breaker: the slot abandons worker
+// subprocesses for good and every tile it draws from here on runs on
+// the shared in-process simulator.
+func (s *procSlot) breakSlot() {
+	if s.broken {
+		return
+	}
+	s.broken = true
+	s.killWorker()
+	s.env.procBroken.Add(1)
+}
+
+// killWorker discards the slot's worker immediately (SIGKILL).
+func (s *procSlot) killWorker() {
+	if s.w != nil {
+		s.w.Kill()
+		s.w = nil
+	}
+}
+
+// shutdown ends the slot: a healthy worker gets a graceful close
+// (stdin EOF → clean exit), anything else is already gone.
+func (s *procSlot) shutdown() {
+	if s.w != nil {
+		s.w.Close()
+		s.w = nil
+	}
+}

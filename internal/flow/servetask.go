@@ -1,0 +1,141 @@
+package flow
+
+import (
+	"context"
+	"fmt"
+
+	"cfaopc/internal/grid"
+	"cfaopc/internal/litho"
+	"cfaopc/internal/opt"
+	"cfaopc/internal/procpool"
+)
+
+// taskConfig reconstructs the window-level flow Config a task's bundle
+// encodes: the same knobs a live run would have applied to this tile,
+// with the caller-resolved optimizer chain plugged in.
+func taskConfig(t *procpool.Task, primary, fallback Optimizer) Config {
+	b := &t.Bundle
+	cfg := Config{
+		GridN:        b.GridN,
+		CorePx:       b.CorePx,
+		HaloPx:       b.HaloPx,
+		KOpt:         b.KOpt,
+		Workers:      t.Workers,
+		Optimize:     primary,
+		Fallback:     fallback,
+		TileRetries:  b.TileRetries,
+		TileTimeout:  b.TileTimeout,
+		StallTimeout: b.StallTimeout,
+		RMinPx:       b.RMinPx,
+		RMaxPx:       b.RMaxPx,
+		Engines:      b.Engines,
+		PartialEvery: t.PartialEvery,
+	}
+	if len(b.Faults) > 0 {
+		script := make([]Fault, 0, len(b.Faults))
+		for _, f := range b.Faults {
+			script = append(script, Fault{
+				Sleep: f.Sleep, BeatEvery: f.BeatEvery, Stall: f.Stall,
+				Panic: f.Panic, NaN: f.NaN, BadRadius: f.BadRadius, Kill: f.Kill,
+			})
+		}
+		cfg.Faults = FaultPlan{b.Tile.Index: script}
+	}
+	return cfg
+}
+
+// ServeTask executes one dispatched tile inside a worker process: it
+// rebuilds the window Config from the task's bundle, runs the full
+// degradation ladder via RunWindow with heartbeats and snapshots
+// streaming to sink, and packages the window-local result as the reply
+// frame. The caller resolves the optimizer chain from Bundle.Engines
+// (the flow cannot — engine construction lives above this package) and
+// owns the simulator, which it should cache across tasks since every
+// window in a run shares one imaging condition.
+func ServeTask(ctx context.Context, sim *litho.Simulator, t *procpool.Task,
+	primary, fallback Optimizer, sink procpool.Sink) procpool.Reply {
+	b := &t.Bundle
+	reply := procpool.Reply{Index: b.Tile.Index}
+	if err := b.ValidateTask(); err != nil {
+		reply.Err = err.Error()
+		return reply
+	}
+	cfg := taskConfig(t, primary, fallback)
+	target := &grid.Real{W: b.TargetW, H: b.TargetH, Data: b.Target}
+	hooks := WindowHooks{Dispatch: t.Dispatch}
+	if sink != nil {
+		index := b.Tile.Index
+		hooks.OnBeat = func(iter int, loss float64) { sink.Beat(index, iter, loss) }
+		if t.PartialEvery > 0 {
+			hooks.OnPartial = func(attempt int, s opt.Snapshot) {
+				sink.Partial(index, procpool.PartialState{
+					Attempt: attempt, Iter: s.Iter, Loss: s.Loss,
+					Params: s.Params, OptT: s.OptT, OptM: s.OptM, OptV: s.OptV,
+				})
+			}
+		}
+	}
+	if r := t.Resume; r != nil {
+		hooks.Resume = &opt.Snapshot{
+			Iter: r.Iter, Loss: r.Loss, Params: r.Params,
+			OptT: r.OptT, OptM: r.OptM, OptV: r.OptV,
+		}
+		hooks.ResumeAttempt = r.Attempt
+	}
+	shots, stat, outcomes := RunWindow(ctx, sim, cfg, b.Tile.Index, b.Tile.CX, b.Tile.CY, target, hooks)
+	if stat.Path == "" {
+		// Only a canceled context abandons a ladder; a worker's context
+		// is never canceled mid-task, so this is strictly defensive.
+		reply.Err = "task canceled mid-ladder"
+		return reply
+	}
+	reply.Shots = shots
+	reply.Path = stat.Path
+	for _, o := range outcomes {
+		reply.Outcomes = append(reply.Outcomes, procpool.Outcome{
+			Attempt: o.Attempt, Engine: o.Engine, Err: o.Err,
+			Iters: o.Iters, LastLoss: o.LastLoss, Stalled: o.Stalled,
+		})
+	}
+	return reply
+}
+
+// simKey identifies the simulator a task needs; tasks from one run all
+// share it, so a worker caches a single simulator across tasks.
+type simKey struct {
+	optics   string
+	windowPx int
+	kOpt     int
+	workers  int
+}
+
+// SimCache builds and reuses the window simulator across tasks served
+// by one worker process. Kernel setup is the expensive part of a
+// respawn; caching it means a healthy worker pays it once.
+type SimCache struct {
+	key simKey
+	sim *litho.Simulator
+}
+
+// For returns a simulator matching the task's imaging condition,
+// building one only when the condition changed (in practice: once).
+func (c *SimCache) For(t *procpool.Task) (*litho.Simulator, error) {
+	b := &t.Bundle
+	key := simKey{
+		optics:   fmt.Sprintf("%+v", b.Optics),
+		windowPx: b.Tile.WindowPx,
+		kOpt:     b.KOpt,
+		workers:  t.Workers,
+	}
+	if c.sim != nil && c.key == key {
+		return c.sim, nil
+	}
+	sim, err := litho.New(b.Optics, b.Tile.WindowPx)
+	if err != nil {
+		return nil, err
+	}
+	sim.KOpt = b.KOpt
+	sim.Workers = t.Workers
+	c.sim, c.key = sim, key
+	return sim, nil
+}

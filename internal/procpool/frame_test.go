@@ -1,0 +1,118 @@
+package procpool
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"io"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	payloads := [][]byte{
+		nil,
+		{},
+		[]byte("x"),
+		bytes.Repeat([]byte{0xAB}, 1<<16),
+	}
+	var buf bytes.Buffer
+	for _, p := range payloads {
+		if err := WriteFrame(&buf, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, want := range payloads {
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("frame %d: %d bytes, want %d", i, len(got), len(want))
+		}
+	}
+	if _, err := ReadFrame(&buf); err != io.EOF {
+		t.Fatalf("after last frame: err = %v, want io.EOF", err)
+	}
+}
+
+func TestFrameTorn(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, []byte("hello frame")); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Every proper prefix except the empty one is a torn frame; zero
+	// bytes is a clean EOF (the boundary case a dead-before-writing
+	// worker produces).
+	for cut := 1; cut < len(full); cut++ {
+		_, err := ReadFrame(bytes.NewReader(full[:cut]))
+		if !errors.Is(err, ErrTornFrame) {
+			t.Fatalf("cut at %d: err = %v, want ErrTornFrame", cut, err)
+		}
+	}
+	if _, err := ReadFrame(bytes.NewReader(nil)); err != io.EOF {
+		t.Fatalf("empty stream: err = %v, want io.EOF", err)
+	}
+}
+
+func TestFrameCRCFlip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, []byte("guarded payload")); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for bit := 0; bit < 8; bit++ {
+		corrupt := append([]byte(nil), data...)
+		corrupt[10] ^= 1 << bit // flip inside the payload
+		_, err := ReadFrame(bytes.NewReader(corrupt))
+		if !errors.Is(err, ErrFrameCRC) {
+			t.Fatalf("bit %d: err = %v, want ErrFrameCRC", bit, err)
+		}
+	}
+}
+
+func TestFrameOversizeRejected(t *testing.T) {
+	// A hostile header declaring a huge payload must be rejected before
+	// any allocation is attempted.
+	var hdr [8]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(MaxFrameBytes)+1)
+	if _, err := ReadFrame(bytes.NewReader(hdr[:])); err == nil || errors.Is(err, ErrTornFrame) {
+		t.Fatalf("oversize declared length: err = %v, want limit rejection", err)
+	}
+	if err := WriteFrame(io.Discard, make([]byte, MaxFrameBytes+1)); err == nil {
+		t.Fatal("oversize payload accepted by WriteFrame")
+	}
+}
+
+// FuzzProcFrame feeds arbitrary streams to ReadFrame: it must never
+// panic or over-allocate, and any payload it accepts must carry a valid
+// checksum (i.e. survive a re-frame round trip).
+func FuzzProcFrame(f *testing.F) {
+	var seed bytes.Buffer
+	WriteFrame(&seed, []byte("seed payload"))
+	f.Add(seed.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 4, 0xde, 0xad, 0xbe, 0xef, 1, 2, 3, 4})
+	f.Add(bytes.Repeat([]byte{0xFF}, 16))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		for {
+			payload, err := ReadFrame(r)
+			if err != nil {
+				return // torn, CRC, oversize, EOF: all fine, just no panic
+			}
+			var buf bytes.Buffer
+			if err := WriteFrame(&buf, payload); err != nil {
+				t.Fatalf("accepted payload fails re-framing: %v", err)
+			}
+			back, err := ReadFrame(&buf)
+			if err != nil || !bytes.Equal(back, payload) {
+				t.Fatalf("re-framed payload did not round-trip (err %v)", err)
+			}
+			if crc32.ChecksumIEEE(payload) != crc32.ChecksumIEEE(back) {
+				t.Fatal("checksum drift across round trip")
+			}
+		}
+	})
+}

@@ -1,0 +1,185 @@
+package procpool
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"sync"
+	"time"
+)
+
+// EventKind discriminates supervisor-side worker events.
+type EventKind int
+
+const (
+	EvHello EventKind = iota
+	EvPing
+	EvBeat
+	EvPartial
+	EvReply
+	// EvExit is the terminal event: the worker process died or its
+	// output stream broke. Err is io.EOF for a clean exit, the framing
+	// or decode error otherwise; no further events follow.
+	EvExit
+)
+
+// Event is one occurrence on a worker's output stream. Exactly the
+// field matching Kind is set (Err only for EvExit).
+type Event struct {
+	Kind    EventKind
+	Hello   *Hello
+	Beat    *Beat
+	Partial *Partial
+	Reply   *Reply
+	Err     error
+}
+
+// Worker is a supervised tile-worker subprocess: frames in via Send,
+// everything out — including death — via the Events stream. It does no
+// policy (respawn, backoff, circuit-breaking live in the flow's
+// supervisor); it only makes process life cycle observable.
+type Worker struct {
+	cmd   *exec.Cmd
+	stdin io.WriteCloser
+
+	events chan Event
+	done   chan struct{} // closed by Kill/Close: emit drops, reader unblocks
+	dead   chan struct{} // closed after the process is reaped
+
+	killOnce  sync.Once
+	closeOnce sync.Once
+}
+
+// Start launches cmd as a tile worker: WorkerEnv=1 is forced into its
+// environment, stdin/stdout become the frame pipes (wire stderr
+// yourself for diagnostics), and a reader goroutine turns its output
+// into Events. The first event from a healthy worker is EvHello.
+func Start(cmd *exec.Cmd) (*Worker, error) {
+	if cmd.Env == nil {
+		cmd.Env = os.Environ()
+	}
+	cmd.Env = append(cmd.Env, WorkerEnv+"=1")
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return nil, fmt.Errorf("procpool: %w", err)
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, fmt.Errorf("procpool: %w", err)
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("procpool: start worker: %w", err)
+	}
+	w := &Worker{
+		cmd:    cmd,
+		stdin:  stdin,
+		events: make(chan Event, 64),
+		done:   make(chan struct{}),
+		dead:   make(chan struct{}),
+	}
+	go w.read(stdout)
+	return w, nil
+}
+
+// PID returns the worker's process id.
+func (w *Worker) PID() int { return w.cmd.Process.Pid }
+
+// Events is the worker's output stream. It is never closed; EvExit is
+// the last event delivered.
+func (w *Worker) Events() <-chan Event { return w.events }
+
+// Send frames one task to the worker.
+func (w *Worker) Send(t *Task) error {
+	payload, err := EncodeMessage(&Message{Task: t})
+	if err != nil {
+		return err
+	}
+	return WriteFrame(w.stdin, payload)
+}
+
+// Kill terminates the worker immediately (SIGKILL) and stops event
+// delivery. Idempotent; the reaping happens on the reader goroutine.
+func (w *Worker) Kill() {
+	w.killOnce.Do(func() {
+		close(w.done)
+		if w.cmd.Process != nil {
+			w.cmd.Process.Kill()
+		}
+	})
+}
+
+// Close shuts the worker down gracefully: closing stdin makes Serve
+// return nil, and the process is given a grace period to exit before
+// being killed. Safe to call on an already-dead worker.
+func (w *Worker) Close() {
+	w.closeOnce.Do(func() {
+		w.stdin.Close()
+		select {
+		case <-w.dead:
+		case <-time.After(2 * time.Second):
+			w.Kill()
+			<-w.dead
+		}
+	})
+}
+
+// read decodes frames into events until the stream breaks, then reaps
+// the process and delivers the terminal EvExit.
+func (w *Worker) read(stdout io.Reader) {
+	var exitErr error
+	for {
+		payload, err := ReadFrame(stdout)
+		if err != nil {
+			exitErr = err // io.EOF for a clean exit
+			break
+		}
+		m, err := DecodeMessage(payload)
+		if err != nil {
+			exitErr = err
+			break
+		}
+		switch {
+		case m.Hello != nil:
+			if m.Hello.Version != ProtocolVersion {
+				exitErr = fmt.Errorf("procpool: worker speaks protocol v%d, supervisor v%d", m.Hello.Version, ProtocolVersion)
+			} else {
+				w.emit(Event{Kind: EvHello, Hello: m.Hello})
+				continue
+			}
+		case m.Ping != nil:
+			w.emit(Event{Kind: EvPing})
+			continue
+		case m.Beat != nil:
+			w.emit(Event{Kind: EvBeat, Beat: m.Beat})
+			continue
+		case m.Partial != nil:
+			w.emit(Event{Kind: EvPartial, Partial: m.Partial})
+			continue
+		case m.Reply != nil:
+			w.emit(Event{Kind: EvReply, Reply: m.Reply})
+			continue
+		default:
+			exitErr = fmt.Errorf("procpool: empty message from worker")
+		}
+		break
+	}
+	// A worker that sent garbage may still be alive; make death true
+	// before reporting it.
+	if exitErr != io.EOF {
+		if w.cmd.Process != nil {
+			w.cmd.Process.Kill()
+		}
+	}
+	w.cmd.Wait()
+	close(w.dead)
+	w.emit(Event{Kind: EvExit, Err: exitErr})
+}
+
+// emit delivers ev unless the supervisor has abandoned this worker.
+func (w *Worker) emit(ev Event) {
+	select {
+	case w.events <- ev:
+	case <-w.done:
+	}
+}

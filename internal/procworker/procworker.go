@@ -1,0 +1,45 @@
+// Package procworker is the engine-backed tile worker: the glue that
+// sits above internal/flow, internal/engine and internal/procpool and
+// turns a process into a frame-serving tile worker. It exists as its
+// own package (rather than living in flow) because engine construction
+// imports the flow — procpool stays a leaf, the flow stays below the
+// engine registry, and every binary that wants to be its own worker
+// (cmd/cfaopc, cmd/tileworker) just calls Serve.
+package procworker
+
+import (
+	"context"
+	"io"
+
+	"cfaopc/internal/engine"
+	"cfaopc/internal/flow"
+	"cfaopc/internal/procpool"
+)
+
+// Serve runs the tile-worker loop on r/w until the supervisor closes
+// the task stream. Each task's optimizer chain is rebuilt from its
+// bundle's engine metadata, and the window simulator is cached across
+// tasks (every window in a run shares one imaging condition, so a
+// healthy worker pays kernel setup once).
+func Serve(r io.Reader, w io.Writer) error {
+	var cache flow.SimCache
+	return procpool.Serve(r, w, func(ctx context.Context, t *procpool.Task, sink procpool.Sink) procpool.Reply {
+		b := &t.Bundle
+		reply := procpool.Reply{Index: b.Tile.Index}
+		if err := b.ValidateTask(); err != nil {
+			reply.Err = err.Error()
+			return reply
+		}
+		primary, fallback, err := engine.FromMeta(b.Engines)
+		if err != nil {
+			reply.Err = "engine: " + err.Error()
+			return reply
+		}
+		sim, err := cache.For(t)
+		if err != nil {
+			reply.Err = "litho: " + err.Error()
+			return reply
+		}
+		return flow.ServeTask(ctx, sim, t, primary, fallback, sink)
+	})
+}

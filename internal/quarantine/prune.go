@@ -1,0 +1,86 @@
+package quarantine
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Prune enforces a retention budget over the bundles in dir: while
+// there are more than maxBundles bundles, or their .qrb bytes exceed
+// maxBytes, the oldest bundle (by modification time, name as the
+// tie-break) is deleted together with its .json sidecar — bundles only
+// ever leave the directory pair-wise. A zero budget is unlimited on
+// that axis; with both zero Prune is a no-op. It returns the number of
+// bundles removed.
+//
+// A full-chip run with a pathological region can quarantine thousands
+// of tiles; retention keeps the newest evidence (the just-written
+// bundle is the newest, so it survives any maxBundles >= 1) without
+// letting forensics eat the disk.
+func Prune(dir string, maxBundles int, maxBytes int64) (removed int, err error) {
+	if maxBundles <= 0 && maxBytes <= 0 {
+		return 0, nil
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, fmt.Errorf("quarantine: prune: %w", err)
+	}
+	type bundleFile struct {
+		base  string // path without the .qrb extension
+		size  int64
+		mtime int64
+	}
+	var bundles []bundleFile
+	var total int64
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".qrb") {
+			continue
+		}
+		info, ierr := e.Info()
+		if ierr != nil {
+			if os.IsNotExist(ierr) {
+				continue // raced with a concurrent prune or save
+			}
+			return removed, fmt.Errorf("quarantine: prune: %w", ierr)
+		}
+		bundles = append(bundles, bundleFile{
+			base:  filepath.Join(dir, strings.TrimSuffix(e.Name(), ".qrb")),
+			size:  info.Size(),
+			mtime: info.ModTime().UnixNano(),
+		})
+		total += info.Size()
+	}
+	sort.Slice(bundles, func(i, j int) bool {
+		if bundles[i].mtime != bundles[j].mtime {
+			return bundles[i].mtime < bundles[j].mtime
+		}
+		return bundles[i].base < bundles[j].base
+	})
+	over := func() bool {
+		if maxBundles > 0 && len(bundles)-removed > maxBundles {
+			return true
+		}
+		if maxBytes > 0 && total > maxBytes {
+			return true
+		}
+		return false
+	}
+	for removed < len(bundles) && over() {
+		victim := bundles[removed]
+		if rerr := os.Remove(victim.base + ".qrb"); rerr != nil && !os.IsNotExist(rerr) {
+			return removed, fmt.Errorf("quarantine: prune: %w", rerr)
+		}
+		if rerr := os.Remove(victim.base + ".json"); rerr != nil && !os.IsNotExist(rerr) {
+			return removed, fmt.Errorf("quarantine: prune: %w", rerr)
+		}
+		total -= victim.size
+		removed++
+	}
+	return removed, nil
+}

@@ -1,0 +1,136 @@
+package quarantine
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// writeBundlePair drops a fake .qrb of size bytes plus its .json
+// sidecar, stamped with mtime so retention ordering is deterministic.
+func writeBundlePair(t *testing.T, dir, base string, size int, mtime time.Time) {
+	t.Helper()
+	qrb := filepath.Join(dir, base+".qrb")
+	if err := os.WriteFile(qrb, make([]byte, size), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, base+".json"), []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chtimes(qrb, mtime, mtime); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func surviving(t *testing.T, dir string) map[string]bool {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[string]bool{}
+	for _, e := range entries {
+		out[e.Name()] = true
+	}
+	return out
+}
+
+func TestPruneCountBudget(t *testing.T) {
+	dir := t.TempDir()
+	t0 := time.Now().Add(-time.Hour)
+	writeBundlePair(t, dir, "tile0000", 100, t0)
+	writeBundlePair(t, dir, "tile0001", 100, t0.Add(time.Minute))
+	writeBundlePair(t, dir, "tile0002", 100, t0.Add(2*time.Minute))
+
+	removed, err := Prune(dir, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 2 {
+		t.Fatalf("removed = %d, want 2", removed)
+	}
+	got := surviving(t, dir)
+	if len(got) != 2 || !got["tile0002.qrb"] || !got["tile0002.json"] {
+		t.Fatalf("survivors = %v, want newest pair only", got)
+	}
+}
+
+func TestPruneByteBudget(t *testing.T) {
+	dir := t.TempDir()
+	t0 := time.Now().Add(-time.Hour)
+	writeBundlePair(t, dir, "a", 600, t0)
+	writeBundlePair(t, dir, "b", 600, t0.Add(time.Minute))
+	writeBundlePair(t, dir, "c", 600, t0.Add(2*time.Minute))
+
+	// 1800 bytes on disk, budget 1300: must drop the oldest one, then
+	// the next (1200 <= 1300 stops it after two? 1800-600=1200 <= 1300,
+	// so exactly one removal).
+	removed, err := Prune(dir, 0, 1300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 1 {
+		t.Fatalf("removed = %d, want 1", removed)
+	}
+	got := surviving(t, dir)
+	if got["a.qrb"] || got["a.json"] {
+		t.Fatalf("oldest pair survived byte prune: %v", got)
+	}
+	if !got["b.qrb"] || !got["c.qrb"] {
+		t.Fatalf("newer bundles pruned: %v", got)
+	}
+}
+
+func TestPruneMtimeTieBrokenByName(t *testing.T) {
+	dir := t.TempDir()
+	same := time.Now().Add(-time.Hour)
+	writeBundlePair(t, dir, "tile0003", 10, same)
+	writeBundlePair(t, dir, "tile0001", 10, same)
+	removed, err := Prune(dir, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 1 {
+		t.Fatalf("removed = %d, want 1", removed)
+	}
+	got := surviving(t, dir)
+	if !got["tile0003.qrb"] {
+		t.Fatalf("name tie-break kept the wrong pair: %v", got)
+	}
+}
+
+func TestPruneTolerations(t *testing.T) {
+	dir := t.TempDir()
+
+	// Zero budgets: no-op even with files present.
+	writeBundlePair(t, dir, "x", 10, time.Now())
+	if removed, err := Prune(dir, 0, 0); err != nil || removed != 0 {
+		t.Fatalf("zero-budget prune: removed %d, err %v", removed, err)
+	}
+
+	// Missing sidecar must not fail the prune.
+	old := filepath.Join(dir, "orphan.qrb")
+	if err := os.WriteFile(old, make([]byte, 10), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	past := time.Now().Add(-2 * time.Hour)
+	if err := os.Chtimes(old, past, past); err != nil {
+		t.Fatal(err)
+	}
+	removed, err := Prune(dir, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 1 {
+		t.Fatalf("removed = %d, want 1 (the sidecar-less orphan)", removed)
+	}
+	if got := surviving(t, dir); !got["x.qrb"] || got["orphan.qrb"] {
+		t.Fatalf("survivors = %v", got)
+	}
+
+	// Missing directory: silently nothing to do.
+	if removed, err := Prune(filepath.Join(dir, "nope"), 5, 5); err != nil || removed != 0 {
+		t.Fatalf("missing dir prune: removed %d, err %v", removed, err)
+	}
+}

@@ -75,6 +75,11 @@ type Fault struct {
 	BadRadius bool
 	Stall     bool
 	BeatEvery time.Duration
+	// Kill scripts process-fatal death: a tile worker subprocess
+	// SIGKILLs itself while this tile's dispatch counter is below Kill.
+	// It is a no-op in-process, so the same script drives proc-mode
+	// crash testing and leaves serial reference runs untouched.
+	Kill int
 }
 
 // Tile identifies the quarantined window.
@@ -125,8 +130,10 @@ type Bundle struct {
 	Attempts []Attempt
 }
 
-// Validate checks the structural invariants Load relies on.
-func (b *Bundle) Validate() error {
+// ValidateTask checks the invariants of a bundle used as a live task
+// encoding (procpool wire protocol): everything Load relies on except
+// the attempt history, which a not-yet-run tile does not have.
+func (b *Bundle) ValidateTask() error {
 	if b.FormatVersion != FormatVersion {
 		return fmt.Errorf("quarantine: bundle format v%d, this build reads v%d", b.FormatVersion, FormatVersion)
 	}
@@ -135,6 +142,15 @@ func (b *Bundle) Validate() error {
 	}
 	if b.Tile.WindowPx != b.TargetW {
 		return fmt.Errorf("quarantine: window %d px but target width %d", b.Tile.WindowPx, b.TargetW)
+	}
+	return nil
+}
+
+// Validate checks the structural invariants Load relies on: a stored
+// repro bundle is a task-grade bundle plus a recorded attempt history.
+func (b *Bundle) Validate() error {
+	if err := b.ValidateTask(); err != nil {
+		return err
 	}
 	if len(b.Attempts) == 0 {
 		return fmt.Errorf("quarantine: bundle records no attempts")

@@ -110,7 +110,7 @@ func Run(ctx context.Context, b *quarantine.Bundle, o Options) (*Report, error) 
 		for i, f := range b.Faults {
 			script[i] = flow.Fault{
 				Sleep: f.Sleep, BeatEvery: f.BeatEvery, Stall: f.Stall,
-				Panic: f.Panic, NaN: f.NaN, BadRadius: f.BadRadius,
+				Panic: f.Panic, NaN: f.NaN, BadRadius: f.BadRadius, Kill: f.Kill,
 			}
 		}
 		cfg.Faults = flow.FaultPlan{b.Tile.Index: script}
