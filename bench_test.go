@@ -19,6 +19,7 @@ import (
 	"cfaopc/internal/layout"
 	"cfaopc/internal/litho"
 	"cfaopc/internal/optics"
+	"cfaopc/internal/wcache"
 )
 
 // benchOptions is the reduced configuration shared by all exhibits.
@@ -233,6 +234,87 @@ func BenchmarkFlowRun(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkFlowCached measures the window dedup cache on the 8×8
+// repeated-cell array, where every cell window is pixel-identical:
+// uncached optimizes all 64 windows, cold starts an empty cache
+// (optimize one, serve 63 by content hash), warm reruns against the
+// populated cache and optimizes nothing. The cold/warm gap is the
+// figure recorded in BENCH_flow.json.
+func BenchmarkFlowCached(b *testing.B) {
+	l := layout.GenerateArray(8, 8, layout.ArrayConfig{})
+	mkCfg := func(c *wcache.Cache) flow.Config {
+		return flow.Config{
+			GridN:   256,
+			CorePx:  32, // one core per array cell
+			HaloPx:  8,  // stays inside the motif margin: windows dedup
+			Optics:  optics.Default(),
+			KOpt:    4,
+			Workers: 1,
+			Optimize: func(sim *litho.Simulator, target *grid.Real) (*grid.Real, []geom.Circle) {
+				coCfg := core.DefaultConfig(sim.DX)
+				coCfg.Iterations = 15
+				res := (&core.CircleOpt{Cfg: coCfg, InitIterations: 6}).Optimize(sim, target)
+				return res.Mask, res.Shots
+			},
+			Cache: c,
+		}
+	}
+	// Warm the kernel cache (and pin the uncached shot list) outside the
+	// timed loops.
+	ref, err := flow.Run(l, mkCfg(nil))
+	if err != nil {
+		b.Fatal(err)
+	}
+	check := func(b *testing.B, res *flow.Result, wantHits int) {
+		b.Helper()
+		if res.CacheHits != wantHits {
+			b.Fatalf("cache hits = %d, want %d", res.CacheHits, wantHits)
+		}
+		if len(res.Shots) != len(ref.Shots) {
+			b.Fatalf("shot count drifted: %d vs %d", len(res.Shots), len(ref.Shots))
+		}
+	}
+	b.Run("uncached", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := flow.Run(l, mkCfg(nil))
+			if err != nil {
+				b.Fatal(err)
+			}
+			check(b, res, 0)
+		}
+	})
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c, err := wcache.New(wcache.Config{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := flow.Run(l, mkCfg(c))
+			if err != nil {
+				b.Fatal(err)
+			}
+			check(b, res, 63)
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		c, err := wcache.New(wcache.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := flow.Run(l, mkCfg(c)); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := flow.Run(l, mkCfg(c))
+			if err != nil {
+				b.Fatal(err)
+			}
+			check(b, res, 64)
+		}
+	})
 }
 
 // BenchmarkFigure7 regenerates Figure 7: the sample-distance ablation

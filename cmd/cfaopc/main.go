@@ -29,6 +29,12 @@
 // binary re-executes itself as its own worker, or -worker-bin names
 // one): a crashed worker costs one dispatch, not the run, and output
 // stays byte-identical to the in-process flow.
+//
+// Tiled runs can skip repeated work: -window-cache mem|disk serves
+// content-identical windows from a dedup cache (disk adds a persistent
+// tier under -cache-dir that survives across runs), and -adaptive-tiles
+// merges sparse 2×2 blocks, skips empty ones, and splits dense windows.
+// Both change wall time only — the shot list stays byte-identical.
 package main
 
 import (
@@ -59,6 +65,7 @@ import (
 	"cfaopc/internal/optics"
 	"cfaopc/internal/procpool"
 	"cfaopc/internal/procworker"
+	"cfaopc/internal/wcache"
 )
 
 func main() {
@@ -100,6 +107,9 @@ func main() {
 		quarMaxB    = flag.Int64("quarantine-max-bytes", 0, "retention byte budget for quarantine .qrb files (0 = unlimited)")
 		procWorkers = flag.Int("proc-workers", 0, "tiled flow: run tiles in this many supervised worker subprocesses (0 = in-process; overrides -tile-workers)")
 		workerBin   = flag.String("worker-bin", "", "tiled flow: worker binary for -proc-workers (default: re-execute this binary)")
+		winCache    = flag.String("window-cache", "off", "tiled flow: dedup identical windows — off | mem | disk (disk adds a persistent tier under -cache-dir)")
+		cacheDir    = flag.String("cache-dir", "", "tiled flow: directory for the -window-cache disk tier (survives across runs)")
+		adaptive    = flag.Bool("adaptive-tiles", false, "tiled flow: occupancy-adaptive tiling — merge sparse 2×2 blocks, skip empty ones, split dense windows (output stays deterministic)")
 		stream      = flag.Bool("stream", false, "tiled flow: memory-bounded run — never materialize the dense stitched mask (skips the aerial-image metrics; shot list stays the output)")
 		maskOut     = flag.String("mask-out", "", "tiled flow: stream the stitched mask to this PGM file in row bands (works with or without -stream)")
 		compact     = flag.Bool("compact", false, "remove shots that are redundant for the final union (print-identical)")
@@ -135,6 +145,16 @@ func main() {
 		log.Fatal("-proc-workers needs the tiled flow; set -tile-core > 0")
 	case *workerBin != "" && *procWorkers <= 0:
 		log.Fatal("-worker-bin only applies with -proc-workers > 0")
+	case *winCache != "off" && *winCache != "mem" && *winCache != "disk":
+		log.Fatalf("-window-cache %q: want off, mem, or disk", *winCache)
+	case *winCache != "off" && *tileCore <= 0:
+		log.Fatal("-window-cache needs the tiled flow; set -tile-core > 0")
+	case *winCache == "disk" && *cacheDir == "":
+		log.Fatal("-window-cache disk needs -cache-dir <path> for the persistent tier")
+	case *cacheDir != "" && *winCache != "disk":
+		log.Fatal("-cache-dir only applies with -window-cache disk")
+	case *adaptive && *tileCore <= 0:
+		log.Fatal("-adaptive-tiles needs the tiled flow; set -tile-core > 0")
 	}
 	if *quarDir != "" {
 		// Probe writability now, not at the first quarantined tile.
@@ -264,6 +284,19 @@ func main() {
 			QuarantineMaxBundles: *quarMaxN,
 			QuarantineMaxBytes:   *quarMaxB,
 		}
+		fCfg.AdaptiveTiles = *adaptive
+		var cache *wcache.Cache
+		if *winCache != "off" {
+			wc := wcache.Config{}
+			if *winCache == "disk" {
+				wc.Dir = *cacheDir
+			}
+			var err error
+			if cache, err = wcache.New(wc); err != nil {
+				log.Fatalf("-window-cache: %v", err)
+			}
+			fCfg.Cache = cache
+		}
 		if *procWorkers > 0 {
 			bin := *workerBin
 			if bin == "" {
@@ -338,6 +371,19 @@ func main() {
 		}
 		fmt.Printf("flow: %d windows (%d occupied), %s, peak flow memory ≈ %.1f MB\n",
 			res.Tiles, occupied, pool, float64(res.PeakBytes)/(1<<20))
+		if *adaptive {
+			fmt.Printf("adaptive: %d sparse blocks merged, %d dense windows split, %d empty tiles skipped\n",
+				res.Merged, res.Split, res.Skipped)
+		}
+		if cache != nil {
+			st := cache.Stats()
+			fmt.Printf("cache: %d hits translated into place (%d from disk), %d misses, %d entries ≈ %.1f MB\n",
+				res.CacheHits, st.DiskHits, res.CacheMisses, st.Entries, float64(res.CacheBytes)/(1<<20))
+			if st.BadDisk+st.DiskErrs > 0 {
+				fmt.Printf("cache: %d corrupt disk entries dropped, %d disk errors — each degraded to a miss\n",
+					st.BadDisk, st.DiskErrs)
+			}
+		}
 		for _, ts := range res.TileStats {
 			if !ts.Occupied {
 				continue
@@ -348,6 +394,9 @@ func main() {
 			}
 			if ts.Resumed {
 				note += "  [resumed]"
+			}
+			if ts.CacheHit {
+				note += "  [cached]"
 			}
 			if ts.Path != flow.PathPrimary {
 				note += "  [" + ts.Path + "]"

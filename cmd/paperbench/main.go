@@ -48,10 +48,11 @@ func main() {
 		ext      = flag.Bool("extensions", false, "run the extension experiments (DoseOpt, greedy set cover, compaction)")
 		fl       = flag.Bool("flow", false, "run the tiled full-chip flow exhibit (worker sweep, streamed vs dense-mask peak memory)")
 		ft       = flag.Bool("faults", false, "run the fault-tolerance exhibit (injected faults, degradation, checkpoint resume)")
+		ca       = flag.Bool("cache", false, "run the window-dedup cache exhibit (cold/warm memory and disk sweep on the repeated-cell array)")
 	)
 	flag.Parse()
 
-	all := !*t1 && !*t2 && !*t3 && !*f1 && !*f6 && !*f7 && !*abl && !*ext && !*fl && !*ft
+	all := !*t1 && !*t2 && !*t3 && !*f1 && !*f6 && !*f7 && !*abl && !*ext && !*fl && !*ft && !*ca
 
 	o := bench.DefaultOptions()
 	o.GridN = *gridN
@@ -142,6 +143,21 @@ func main() {
 		}
 		fmt.Println(t.Format())
 		emit("flow", t)
+	}
+	if *ca { // cache exhibit only on request: it optimizes the array five times
+		co := bench.DefaultCacheOptions(o.GridN)
+		dir, err := os.MkdirTemp("", "cfaopc-cache-*")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer os.RemoveAll(dir)
+		co.DiskDir = dir
+		t, err := r.CacheTable(co)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(t.Format())
+		emit("cache", t)
 	}
 	if *ft { // fault exhibit only on request: it runs the faulted chip three times
 		t, err := r.FaultTable(bench.DefaultFaultOptions(o.GridN))

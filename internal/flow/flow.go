@@ -83,6 +83,7 @@ import (
 	"cfaopc/internal/opt"
 	"cfaopc/internal/optics"
 	"cfaopc/internal/quarantine"
+	"cfaopc/internal/wcache"
 )
 
 // Optimizer produces a mask and shot list for one window target.
@@ -228,6 +229,36 @@ type Config struct {
 	// default (50ms).
 	ProcBackoff time.Duration
 
+	// Cache, when non-nil, is the window dedup cache: each eligible tile
+	// is keyed by a canonical content hash (window target raster, owning
+	// rect spans in window-local coordinates, core geometry, and the
+	// run's config fingerprint), and a hit translates the cached
+	// window-local shots into place instead of re-optimizing. The cache
+	// changes wall time only — shots, streamed bands, and checkpoint
+	// journals are byte-identical with the cache on or off, because the
+	// key covers every input the (deterministic) optimizer sees. Tiles
+	// with an injected fault script bypass the cache in both directions,
+	// as do tiles resuming from a partial checkpoint snapshot (they must
+	// replay their journaled trajectory). Only real results are stored;
+	// a tile that degraded to empty is never served to a twin.
+	Cache *wcache.Cache
+
+	// AdaptiveTiles plans the tiling from layout occupancy instead of a
+	// uniform CorePx grid: sparse 2×2 blocks merge into one large tile,
+	// dense cells split into four small ones, and provably-empty regions
+	// are skipped without rasterizing. The plan is deterministic (from
+	// layout.WindowIndex occupancy) and sorted row-major, so determinism,
+	// checkpointing, and band streaming all hold exactly as in uniform
+	// mode; the adaptive knobs are part of the checkpoint fingerprint, so
+	// a journal can't silently cross tiling modes.
+	AdaptiveTiles bool
+	// AdaptiveMergeMax is the maximum merged-window occupancy fraction
+	// for a 2×2 merge (default 0.02); AdaptiveSplitMin is the minimum
+	// window occupancy fraction that splits a cell (default 0.35; split
+	// requires even CorePx). Both are fractions of window pixel area.
+	AdaptiveMergeMax float64
+	AdaptiveSplitMin float64
+
 	// Drain, when non-nil and closed mid-run, stops dispatching new
 	// tiles: in-flight tiles finish and are journaled, the checkpoint is
 	// synced, and RunContext returns its partial Result with ErrDrained.
@@ -290,8 +321,10 @@ const (
 
 // TileStat records what one window contributed to the stitched result.
 type TileStat struct {
-	Index    int           // row-major window index
+	Index    int           // row-major window index (plan order)
 	CX, CY   int           // core origin in full-grid pixels
+	Core     int           // core edge in px (adaptive tiles differ from Config.CorePx)
+	Window   int           // window edge in px (core + 2·halo)
 	Occupied bool          // window held target geometry and was optimized
 	Shots    int           // core-owned shots kept from this window
 	Wall     time.Duration // wall time spent on this window
@@ -325,6 +358,15 @@ type TileStat struct {
 	// flight; the tile still completed through respawn or the
 	// in-process breaker path.
 	ProcCrashes int
+
+	// CacheHit marks a tile answered by translating a cached twin's
+	// shots instead of optimizing; its Path/Attempts/Iters/LastLoss are
+	// inherited from the twin's record. CacheKey is the canonical
+	// content hash computed for every cache-eligible tile (hit or miss);
+	// "" when the cache was off or the tile was excluded (fault script,
+	// skip tile).
+	CacheHit bool
+	CacheKey string
 }
 
 // AttemptOutcome records one optimizer invocation for forensics: it
@@ -363,6 +405,22 @@ type Result struct {
 	// execution. Both stay zero without ProcWorkers.
 	ProcCrashes int
 	Broken      int
+
+	// CacheHits / CacheMisses count cache lookups by freshly processed
+	// tiles (replayed-from-journal tiles perform none); CacheBytes is
+	// the cache's resident in-memory size at run end. All zero when
+	// Config.Cache is nil.
+	CacheHits   int
+	CacheMisses int
+	CacheBytes  int64
+
+	// Merged / Split / Skipped describe the adaptive plan: 2×2 blocks
+	// fused into one tile, cells fractured into four, and tiles proven
+	// empty by the occupancy scan (never rasterized). All zero in
+	// uniform mode.
+	Merged  int
+	Split   int
+	Skipped int
 
 	// PeakBytes estimates the peak bytes of flow-owned buffers held
 	// resident during the run: the layout span index, one window target
@@ -438,15 +496,25 @@ func ownedShots(shots []geom.Circle, ox, oy, cx, cy, corePx int) []geom.Circle {
 	return kept
 }
 
-// tileJob identifies one window by its row-major index and core origin.
+// tileJob identifies one window by its plan index, core origin, and —
+// since tiling went adaptive — its own core/window edges. skip marks a
+// tile the occupancy scan proved empty: no rasterization, no optimizer,
+// no shots.
 type tileJob struct {
 	index  int
 	cx, cy int
+	core   int // core edge in px
+	window int // window edge in px (core + 2·halo)
+	skip   bool
 }
 
-// tileOut is one window's contribution before the ordered reduce.
+// tileOut is one window's contribution before the ordered reduce. raw
+// holds the full window-local shot list (pre-ownership-filter) so a
+// fresh result can be published to the dedup cache for twins with any
+// core placement.
 type tileOut struct {
 	shots []geom.Circle
+	raw   []geom.Circle
 	stat  TileStat
 }
 
@@ -456,16 +524,19 @@ type tileOut struct {
 // channel for asynchronous failures (journal appends, bundle saves).
 // ReplayWindow builds a minimal env with no layout, index or journal.
 type runEnv struct {
-	cfg       Config    // effective config: Faults already wrapped in
-	rawFaults FaultPlan // the unwrapped plan, recorded into bundles
-	window    int
-	optics    optics.Config // window-level imaging condition
+	cfg       Config                         // effective config: Faults already wrapped in
+	rawFaults FaultPlan                      // the unwrapped plan, recorded into bundles
+	opticsFor func(window int) optics.Config // per-window-size imaging condition
 	lay       *layout.Layout
 	fp        []byte
+	keyPrefix string // config fingerprint: the dedup cache key prefix
 	ix        *layout.WindowIndex
 	journal   *checkpoint.Journal
 	partials  map[int]partialRecord
 	errCh     chan error
+
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
 
 	// partialSink receives mid-attempt optimizer snapshots (journal
 	// append in a tiled run, a wire frame in a worker); nil disables
@@ -479,10 +550,11 @@ type runEnv struct {
 	// worker's redispatch counter otherwise).
 	dispatch int
 
-	// Proc mode: one shared in-process simulator serves every
-	// circuit-broken slot (serialized by fbMu), and the crash/breaker
-	// totals accumulate across slots.
-	fbSim       *litho.Simulator
+	// Proc mode: one shared set of in-process simulators (one per
+	// window size in the plan) serves every circuit-broken slot
+	// (serialized by fbMu), and the crash/breaker totals accumulate
+	// across slots.
+	fbSims      map[int]*litho.Simulator
 	fbMu        sync.Mutex
 	quarMu      sync.Mutex // serializes bundle saves with retention pruning
 	procCrashes atomic.Int64
@@ -643,7 +715,7 @@ func (env *runEnv) attemptTile(ctx context.Context, sim *litho.Simulator, optimi
 		go watchdog(tctx, cancelCause, hb, cfg.StallTimeout, stop)
 	}
 
-	shots, err := runGuarded(tctx, sim, optimize, target, cfg, env.window)
+	shots, err := runGuarded(tctx, sim, optimize, target, cfg, target.W)
 	out.Iters, out.LastLoss = hb.totals()
 	if err != nil {
 		if errors.Is(err, ErrStalled) {
@@ -766,19 +838,29 @@ func capString(s string, n int) string {
 // into ctx.Err() for the whole run. A tile that lands on PathEmpty
 // writes its quarantine bundle here, from the worker that watched it
 // fail.
-func (env *runEnv) runTile(ctx context.Context, sim *litho.Simulator, j tileJob) tileOut {
+func (env *runEnv) runTile(ctx context.Context, sims map[int]*litho.Simulator, j tileJob) tileOut {
 	start := time.Now()
 	cfg := env.cfg
+	out := tileOut{stat: TileStat{Index: j.index, CX: j.cx, CY: j.cy, Core: j.core, Window: j.window}}
+	defer func() { out.stat.Wall = time.Since(start) }()
+	if j.skip {
+		// The occupancy scan proved this window empty at plan time; it
+		// contributes exactly what an unoccupied tile always has.
+		return out
+	}
 	ox := j.cx - cfg.HaloPx
 	oy := j.cy - cfg.HaloPx
-	target, occupied := env.ix.Window(ox, oy, env.window, env.window)
-	out := tileOut{stat: TileStat{Index: j.index, CX: j.cx, CY: j.cy, Occupied: occupied, RasterWall: time.Since(start)}}
-	defer func() { out.stat.Wall = time.Since(start) }()
+	target, occupied := env.ix.Window(ox, oy, j.window, j.window)
+	out.stat.Occupied = occupied
+	out.stat.RasterWall = time.Since(start)
 	if !occupied {
 		return out
 	}
-
-	env.ladder(ctx, sim, j, target, &out)
+	if env.tryCache(j, target, &out) {
+		return out
+	}
+	env.ladder(ctx, sims[j.window], j, target, &out)
+	env.storeCache(j, &out)
 	return out
 }
 
@@ -796,7 +878,8 @@ func (env *runEnv) ladder(ctx context.Context, sim *litho.Simulator, j tileJob,
 	applyOutcomes(&out.stat, outcomes)
 	switch path {
 	case PathPrimary, PathFallback:
-		out.shots = ownedShots(shots, ox, oy, j.cx, j.cy, cfg.CorePx)
+		out.raw = shots
+		out.shots = ownedShots(shots, ox, oy, j.cx, j.cy, j.core)
 		out.stat.Shots = len(out.shots)
 	case PathEmpty:
 		env.saveQuarantine(j, target, outcomes, &out.stat)
@@ -845,11 +928,11 @@ func (env *runEnv) buildBundle(j tileJob, target *grid.Real, outcomes []AttemptO
 		StallTimeout:  cfg.StallTimeout,
 		RMinPx:        cfg.RMinPx,
 		RMaxPx:        cfg.RMaxPx,
-		Optics:        env.optics,
+		Optics:        env.opticsFor(j.window),
 		Engines:       cfg.Engines,
 		Tile: quarantine.Tile{
 			Index: j.index, CX: j.cx, CY: j.cy,
-			OriginX: ox, OriginY: oy, WindowPx: env.window,
+			OriginX: ox, OriginY: oy, WindowPx: j.window,
 		},
 		TargetW: target.W,
 		TargetH: target.H,
@@ -858,7 +941,7 @@ func (env *runEnv) buildBundle(j tileJob, target *grid.Real, outcomes []AttemptO
 	if env.lay != nil {
 		b.LayoutName = env.lay.Name
 		b.TileNM = env.lay.TileNM
-		b.Rects = overlapRects(env.lay, cfg.GridN, ox, oy, env.window)
+		b.Rects = overlapRects(env.lay, cfg.GridN, ox, oy, j.window)
 	}
 	for _, f := range env.rawFaults[j.index] {
 		b.Faults = append(b.Faults, quarantine.Fault{
@@ -956,22 +1039,45 @@ func (env *runEnv) appendPartial(index, attempt int, s opt.Snapshot) {
 	}
 }
 
-// fingerprint binds a checkpoint journal to one (layout, tiling) pair.
-// It covers everything that determines per-tile output except the
-// optimizer itself (a func is not hashable); resuming with a different
-// optimizer is the caller's responsibility, like any cache key. The v2
-// format introduced partial-progress records, so v1 journals fail the
+// configFingerprint hashes every config knob that can change a window's
+// optimized output — tiling geometry, validation policy, optics, engine
+// metadata, adaptive-plan knobs, and the physical pixel pitch — but no
+// layout geometry. It serves two masters: it is the window dedup
+// cache's key prefix (layout-free, so identical windows collide across
+// layouts and runs), and it is folded into the per-(layout, tiling)
+// checkpoint fingerprint below. It cannot cover the optimizer funcs
+// themselves (not hashable); Config.Engines is the stand-in, so set it
+// whenever a disk cache is shared across processes.
+func configFingerprint(cfg Config, dxNM float64) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "grid=%d core=%d halo=%d kopt=%d retries=%d rmin=%g rmax=%g dx=%g\n",
+		cfg.GridN, cfg.CorePx, cfg.HaloPx, cfg.KOpt, cfg.TileRetries, cfg.RMinPx, cfg.RMaxPx, dxNM)
+	fmt.Fprintf(h, "optics=%+v\n", cfg.Optics)
+	fmt.Fprintf(h, "engines=%+v\n", cfg.Engines)
+	// The adaptive knobs are deliberately absent: a window's result
+	// depends on its content and geometry (both in the window key), not
+	// on how the plan chose to draw it, so uniform and adaptive runs
+	// share cache entries. The journal fingerprint below does cover
+	// them — tile indices mean different windows across plans.
+	return fmt.Sprintf("cfaopc-cfg-v1 %016x", h.Sum64())
+}
+
+// fingerprint binds a checkpoint journal to one (layout, tiling) pair:
+// the config fingerprint above plus the layout identity and geometry.
+// Resuming with a different optimizer chain remains the caller's
+// responsibility, like any cache key. v3 added per-tile cache/adaptive
+// stats and the config-fingerprint split, so v1/v2 journals fail the
 // header check instead of decoding garbage.
 func fingerprint(l *layout.Layout, cfg Config) []byte {
 	h := fnv.New64a()
-	fmt.Fprintf(h, "grid=%d core=%d halo=%d kopt=%d retries=%d rmin=%g rmax=%g\n",
-		cfg.GridN, cfg.CorePx, cfg.HaloPx, cfg.KOpt, cfg.TileRetries, cfg.RMinPx, cfg.RMaxPx)
-	fmt.Fprintf(h, "optics=%+v\n", cfg.Optics)
+	fmt.Fprintf(h, "cfg=%s\n", configFingerprint(cfg, float64(l.TileNM)/float64(cfg.GridN)))
+	fmt.Fprintf(h, "adaptive=%v merge=%g split=%g\n",
+		cfg.AdaptiveTiles, cfg.AdaptiveMergeMax, cfg.AdaptiveSplitMin)
 	fmt.Fprintf(h, "layout=%s tile=%d\n", l.Name, l.TileNM)
 	for _, r := range l.Rects {
 		fmt.Fprintf(h, "%d,%d,%d,%d\n", r.X, r.Y, r.W, r.H)
 	}
-	return []byte(fmt.Sprintf("cfaopc-flow-v2 %016x", h.Sum64()))
+	return []byte(fmt.Sprintf("cfaopc-flow-v3 %016x", h.Sum64()))
 }
 
 // Run tiles the layout and optimizes every window. It is RunContext with
@@ -1005,6 +1111,9 @@ func RunContext(ctx context.Context, l *layout.Layout, cfg Config) (*Result, err
 		return nil, fmt.Errorf("flow: ProcWorkers set but no WorkerCmd to spawn them with")
 	case cfg.ProcWorkers > 0 && cfg.Engines.Primary == "":
 		return nil, fmt.Errorf("flow: ProcWorkers requires Engines metadata (the worker rebuilds the optimizer chain from it)")
+	case cfg.AdaptiveMergeMax < 0 || cfg.AdaptiveMergeMax > 1 || cfg.AdaptiveSplitMin < 0 || cfg.AdaptiveSplitMin > 1:
+		return nil, fmt.Errorf("flow: adaptive thresholds merge=%g split=%g outside [0, 1]",
+			cfg.AdaptiveMergeMax, cfg.AdaptiveSplitMin)
 	}
 	window := cfg.CorePx + 2*cfg.HaloPx
 	if window > cfg.GridN {
@@ -1012,40 +1121,48 @@ func RunContext(ctx context.Context, l *layout.Layout, cfg Config) (*Result, err
 	}
 	dx := float64(l.TileNM) / float64(cfg.GridN)
 
-	// Every window has the same physical size, so every worker simulator
-	// binds the same (cached) kernel sets.
-	oCfg := cfg.Optics
-	oCfg.TileNM = float64(window) * dx
+	// Optics are shift-invariant, so one kernel set serves every window
+	// of a given physical size; with adaptive tiling there are a handful
+	// of sizes, each binding its own (cached) kernel set.
+	baseOptics := cfg.Optics
+	opticsFor := func(w int) optics.Config {
+		o := baseOptics
+		o.TileNM = float64(w) * dx
+		return o
+	}
 
 	env := &runEnv{
 		cfg:       cfg.withInjectedFaults(),
 		rawFaults: cfg.Faults,
-		window:    window,
-		optics:    oCfg,
+		opticsFor: opticsFor,
 		lay:       l,
 		fp:        fingerprint(l, cfg),
+		keyPrefix: configFingerprint(cfg, dx),
 		errCh:     make(chan error, 1),
 	}
 
-	var jobs []tileJob
-	for cy := 0; cy < cfg.GridN; cy += cfg.CorePx {
-		for cx := 0; cx < cfg.GridN; cx += cfg.CorePx {
-			jobs = append(jobs, tileJob{index: len(jobs), cx: cx, cy: cy})
-		}
-	}
+	// Streaming path: no full-grid raster is ever allocated. Workers
+	// rasterize each window on demand from the row-bucketed span index,
+	// which also feeds the occupancy scan the adaptive plan reads.
+	env.ix = layout.NewWindowIndex(l, cfg.GridN)
+
+	plan := planTiles(cfg, env.ix)
+	jobs := plan.jobs
+	// The full plan, kept intact for by-index lookups (band accounting of
+	// journal-replayed tiles) after jobs is filtered down to the
+	// remainder.
+	allJobs := plan.jobs
 	nTiles := len(jobs)
-	cols := (cfg.GridN + cfg.CorePx - 1) / cfg.CorePx
-	rows := nTiles / cols
 	outs := make([]tileOut, nTiles)
 	// Prefill identity so a drained run's stats stay truthful for tiles
 	// that were never dispatched.
 	for _, j := range jobs {
-		outs[j.index].stat = TileStat{Index: j.index, CX: j.cx, CY: j.cy}
+		outs[j.index].stat = TileStat{Index: j.index, CX: j.cx, CY: j.cy, Core: j.core, Window: j.window}
 	}
 
 	var asm *bandAssembler
 	if cfg.MaskWriter != nil {
-		asm = newBandAssembler(cfg.GridN, cfg.CorePx, rows, cols, cfg.RMaxPx, cfg.MaskWriter)
+		asm = newBandAssembler(cfg.GridN, cfg.CorePx, plan.perRow, cfg.RMaxPx, cfg.MaskWriter)
 	}
 
 	// Replay the checkpoint journal (if any): completed tiles drop out of
@@ -1097,7 +1214,9 @@ func RunContext(ctx context.Context, l *layout.Layout, cfg Config) (*Result, err
 			env.partials = partials
 		}
 		if resumed > 0 {
-			remaining := jobs[:0]
+			// Fresh slice: allJobs aliases the plan's backing array and
+			// must stay intact for by-index lookups below.
+			remaining := make([]tileJob, 0, len(jobs))
 			for _, j := range jobs {
 				if !done[j.index] {
 					remaining = append(remaining, j)
@@ -1110,7 +1229,8 @@ func RunContext(ctx context.Context, l *layout.Layout, cfg Config) (*Result, err
 		if asm != nil {
 			for idx := 0; idx < nTiles; idx++ {
 				if done[idx] {
-					asm.tileDone(idx/cols, outs[idx].shots)
+					r0, r1 := plan.rowSpan(allJobs[idx])
+					asm.tileDone(r0, r1, outs[idx].shots)
 				}
 			}
 		}
@@ -1122,39 +1242,50 @@ func RunContext(ctx context.Context, l *layout.Layout, cfg Config) (*Result, err
 	}
 
 	// Simulators are built serially up front so a kernel error surfaces
-	// before any goroutine starts: one per tile worker in-process, or a
-	// single shared fallback simulator for circuit-broken slots in proc
-	// mode (worker subprocesses build their own).
-	newSim := func() (*litho.Simulator, error) {
-		sim, err := litho.New(oCfg, window)
+	// before any goroutine starts: one per (tile worker, window size)
+	// in-process, or a single shared per-size fallback set for
+	// circuit-broken slots in proc mode (worker subprocesses build their
+	// own). Skip tiles never bind a simulator, so an all-empty adaptive
+	// plan builds none.
+	newSim := func(w int) (*litho.Simulator, error) {
+		sim, err := litho.New(opticsFor(w), w)
 		if err != nil {
-			return nil, err
+			// Adaptive plans derive extra window sizes; name the size so a
+			// threshold-induced kernel failure is actionable.
+			return nil, fmt.Errorf("flow: %dpx window simulator: %w", w, err)
 		}
 		sim.KOpt = cfg.KOpt
 		sim.Workers = cfg.Workers
 		return sim, nil
 	}
-	var sims []*litho.Simulator
-	if procMode {
-		sim, err := newSim()
-		if err != nil {
-			return nil, err
-		}
-		env.fbSim = sim
-	} else {
-		sims = make([]*litho.Simulator, workers)
-		for i := range sims {
-			sim, err := newSim()
+	newSimSet := func() (map[int]*litho.Simulator, error) {
+		set := make(map[int]*litho.Simulator, len(plan.sizes))
+		for _, w := range plan.sizes {
+			sim, err := newSim(w)
 			if err != nil {
 				return nil, err
 			}
-			sims[i] = sim
+			set[w] = sim
+		}
+		return set, nil
+	}
+	var workerSims []map[int]*litho.Simulator
+	if procMode {
+		set, err := newSimSet()
+		if err != nil {
+			return nil, err
+		}
+		env.fbSims = set
+	} else {
+		workerSims = make([]map[int]*litho.Simulator, workers)
+		for i := range workerSims {
+			set, err := newSimSet()
+			if err != nil {
+				return nil, err
+			}
+			workerSims[i] = set
 		}
 	}
-
-	// Streaming path: no full-grid raster is ever allocated. Workers
-	// rasterize each window on demand from the row-bucketed span index.
-	env.ix = layout.NewWindowIndex(l, cfg.GridN)
 
 	// complete folds one finished tile into the shared run state. It is
 	// the single sink both in-process workers and proc slots feed, so
@@ -1165,7 +1296,8 @@ func RunContext(ctx context.Context, l *layout.Layout, cfg Config) (*Result, err
 		outs[j.index] = out
 		completed.Add(1)
 		if asm != nil && ctx.Err() == nil {
-			asm.tileDone(j.index/cols, out.shots)
+			r0, r1 := plan.rowSpan(j)
+			asm.tileDone(r0, r1, out.shots)
 		}
 		if env.journal != nil && ctx.Err() == nil {
 			buf, err := encodeRecord(journalRecord{Tile: &tileRecord{Shots: out.shots, Stat: out.stat}})
@@ -1191,15 +1323,15 @@ func RunContext(ctx context.Context, l *layout.Layout, cfg Config) (*Result, err
 	} else {
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
-			go func(sim *litho.Simulator) {
+			go func(sims map[int]*litho.Simulator) {
 				defer wg.Done()
 				for j := range jobCh {
 					if ctx.Err() != nil {
 						continue // drain without work so the feeder never blocks
 					}
-					complete(j, env.runTile(ctx, sim, j))
+					complete(j, env.runTile(ctx, sims, j))
 				}
-			}(sims[w])
+			}(workerSims[w])
 		}
 	}
 	drained := false
@@ -1258,7 +1390,13 @@ feed:
 	res.Completed = int(completed.Load())
 	res.ProcCrashes = int(env.procCrashes.Load())
 	res.Broken = int(env.procBroken.Load())
-	res.PeakBytes = estimatePeakBytes(cfg, window, workers, env.ix.Bytes(), len(res.Shots))
+	res.CacheHits = int(env.cacheHits.Load())
+	res.CacheMisses = int(env.cacheMisses.Load())
+	if cfg.Cache != nil {
+		res.CacheBytes = cfg.Cache.Stats().Bytes
+	}
+	res.Merged, res.Split, res.Skipped = plan.merged, plan.split, plan.skipped
+	res.PeakBytes = estimatePeakBytes(cfg, plan.maxWindow, workers, env.ix.Bytes(), len(res.Shots))
 	if drained {
 		// Graceful shutdown: hand back the partial result for reporting,
 		// but no stitched mask — the shot list is incomplete by
@@ -1310,8 +1448,7 @@ func RunWindow(ctx context.Context, sim *litho.Simulator, cfg Config, index, cx,
 	env := &runEnv{
 		cfg:       cfg.withInjectedFaults(),
 		rawFaults: cfg.Faults,
-		window:    target.W,
-		optics:    sim.Cfg,
+		opticsFor: func(int) optics.Config { return sim.Cfg },
 		dispatch:  hooks.Dispatch,
 	}
 	if hooks.OnBeat != nil {
@@ -1327,7 +1464,7 @@ func RunWindow(ctx context.Context, sim *litho.Simulator, cfg Config, index, cx,
 			Params: r.Params, OptT: r.OptT, OptM: r.OptM, OptV: r.OptV,
 		}}
 	}
-	j := tileJob{index: index, cx: cx, cy: cy}
+	j := tileJob{index: index, cx: cx, cy: cy, core: cfg.CorePx, window: target.W}
 	shots, path, outcomes := env.attemptSequence(ctx, sim, j, target)
 	stat := TileStat{Index: index, CX: cx, CY: cy, Occupied: true, Path: path}
 	applyOutcomes(&stat, outcomes)

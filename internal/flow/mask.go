@@ -65,11 +65,14 @@ type bandAssembler struct {
 	err      error           // first writer error, surfaced by finish
 }
 
-// newBandAssembler sizes the assembler for a rows×cols tiling. When
-// rMaxPx > 0 a shot can reach at most a bounded number of tile rows, so
-// bands stream as soon as their neighborhood of rows completes;
-// otherwise emission waits for finish.
-func newBandAssembler(gridN, corePx, rows, cols int, rMaxPx float64, w MaskWriter) *bandAssembler {
+// newBandAssembler sizes the assembler for a band grid of uniform
+// corePx-high rows; perRow[r] counts the planned tiles whose core
+// intersects band row r (a merged adaptive tile counts toward every row
+// it spans). When rMaxPx > 0 a shot can reach at most a bounded number
+// of band rows, so bands stream as soon as their neighborhood of rows
+// completes; otherwise emission waits for finish.
+func newBandAssembler(gridN, corePx int, perRow []int, rMaxPx float64, w MaskWriter) *bandAssembler {
+	rows := len(perRow)
 	a := &bandAssembler{
 		gridN:     gridN,
 		corePx:    corePx,
@@ -77,30 +80,40 @@ func newBandAssembler(gridN, corePx, rows, cols int, rMaxPx float64, w MaskWrite
 		reachRows: -1,
 		w:         w,
 		rowShots:  make([][]geom.Circle, rows),
-		rowLeft:   make([]int, rows),
+		rowLeft:   append([]int(nil), perRow...),
 	}
 	if rMaxPx > 0 {
-		// A shot of radius R centered in tile row r' can only touch rows
-		// within int(R/corePx)+2 tile rows of r' (one row of slack for the
+		// A shot of radius R centered in band row r' can only touch rows
+		// within int(R/corePx)+2 band rows of r' (one row of slack for the
 		// partial border row and the rasterizer's +1 bounding margin).
 		a.reachRows = int(rMaxPx/float64(corePx)) + 2
-	}
-	for r := range a.rowLeft {
-		a.rowLeft[r] = cols
 	}
 	return a
 }
 
 // tileDone records one completed tile's owned shots and emits every band
-// whose contributing rows are now all complete.
-func (a *bandAssembler) tileDone(row int, shots []geom.Circle) {
+// whose contributing rows are now all complete. The tile's core spans
+// band rows [r0, r1]; its shots are bucketed by center row (band
+// rasterization is a union, so within-row order is irrelevant).
+func (a *bandAssembler) tileDone(r0, r1 int, shots []geom.Circle) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	if a.err != nil {
 		return
 	}
-	a.rowShots[row] = append(a.rowShots[row], shots...)
-	a.rowLeft[row]--
+	for _, s := range shots {
+		row := int(s.Y) / a.corePx
+		if row < 0 {
+			row = 0
+		}
+		if row > a.rows-1 {
+			row = a.rows - 1
+		}
+		a.rowShots[row] = append(a.rowShots[row], s)
+	}
+	for r := r0; r <= r1; r++ {
+		a.rowLeft[r]--
+	}
 	a.advance(false)
 }
 

@@ -63,12 +63,20 @@ func (s *procSlot) runTileProc(ctx context.Context, j tileJob) tileOut {
 	env := s.env
 	cfg := env.cfg
 	start := time.Now()
+	out := tileOut{stat: TileStat{Index: j.index, CX: j.cx, CY: j.cy, Core: j.core, Window: j.window}}
+	defer func() { out.stat.Wall = time.Since(start) }()
+	if j.skip {
+		return out
+	}
 	ox := j.cx - cfg.HaloPx
 	oy := j.cy - cfg.HaloPx
-	target, occupied := env.ix.Window(ox, oy, env.window, env.window)
-	out := tileOut{stat: TileStat{Index: j.index, CX: j.cx, CY: j.cy, Occupied: occupied, RasterWall: time.Since(start)}}
-	defer func() { out.stat.Wall = time.Since(start) }()
+	target, occupied := env.ix.Window(ox, oy, j.window, j.window)
+	out.stat.Occupied = occupied
+	out.stat.RasterWall = time.Since(start)
 	if !occupied {
+		return out
+	}
+	if env.tryCache(j, target, &out) {
 		return out
 	}
 
@@ -90,6 +98,7 @@ func (s *procSlot) runTileProc(ctx context.Context, j tileJob) tileOut {
 			out.stat.ProcCrashes = dispatch
 			out.stat.Proc = true
 			env.applyReply(j, target, reply, &out)
+			env.storeCache(j, &out)
 			return out
 		}
 		dispatch++
@@ -109,7 +118,8 @@ func (s *procSlot) runTileProc(ctx context.Context, j tileJob) tileOut {
 	// produced, because both run the same ladder on the same target.
 	env.fbMu.Lock()
 	defer env.fbMu.Unlock()
-	env.ladder(ctx, env.fbSim, j, target, &out)
+	env.ladder(ctx, env.fbSims[j.window], j, target, &out)
+	env.storeCache(j, &out)
 	return out
 }
 
@@ -229,7 +239,8 @@ func (env *runEnv) applyReply(j tileJob, target *grid.Real, r *procpool.Reply, o
 	applyOutcomes(&out.stat, outcomes)
 	switch r.Path {
 	case PathPrimary, PathFallback:
-		out.shots = ownedShots(r.Shots, ox, oy, j.cx, j.cy, cfg.CorePx)
+		out.raw = r.Shots
+		out.shots = ownedShots(r.Shots, ox, oy, j.cx, j.cy, j.core)
 		out.stat.Shots = len(out.shots)
 	case PathEmpty:
 		env.saveQuarantine(j, target, outcomes, &out.stat)

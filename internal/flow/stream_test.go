@@ -199,7 +199,11 @@ func TestBandAssemblerOrderAndReach(t *testing.T) {
 		got = append(got, band{y0, g.Clone()})
 		return nil
 	})
-	a := newBandAssembler(gridN, corePx, rows, cols, 6, rec)
+	perRow := make([]int, rows)
+	for r := range perRow {
+		perRow[r] = cols
+	}
+	a := newBandAssembler(gridN, corePx, perRow, 6, rec)
 	// Rows 0-2 complete (out of order) in the first 12 completions; row 3
 	// stays outstanding. Reach is int(6/24)+2 = 2 tile rows, so band 0
 	// (needing rows 0..2) must stream out before row 3 finishes.
@@ -210,12 +214,12 @@ func TestBandAssemblerOrderAndReach(t *testing.T) {
 	for i, o := range order {
 		s := shotFor(o.row, o.col)
 		all = append(all, s)
-		a.tileDone(o.row, []geom.Circle{s})
+		a.tileDone(o.row, o.row, []geom.Circle{s})
 		if i == 11 && len(got) == 0 {
 			t.Fatal("no band emitted although rows 0-2 completed under a radius bound")
 		}
 	}
-	a.tileDone(3, []geom.Circle{shotFor(3, 3)})
+	a.tileDone(3, 3, []geom.Circle{shotFor(3, 3)})
 	all = append(all, shotFor(3, 3))
 	if err := a.finish(); err != nil {
 		t.Fatal(err)

@@ -1,0 +1,67 @@
+package layout
+
+import "testing"
+
+func TestGenerateArrayValidAndDeterministic(t *testing.T) {
+	a := GenerateArray(4, 6, ArrayConfig{})
+	b := GenerateArray(4, 6, ArrayConfig{})
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if a.Name != "array4x6" {
+		t.Fatalf("name %q", a.Name)
+	}
+	if len(a.Rects) != 4*6*2 {
+		t.Fatalf("got %d rects, want %d", len(a.Rects), 4*6*2)
+	}
+	if len(a.Rects) != len(b.Rects) {
+		t.Fatalf("non-deterministic rect count")
+	}
+	for i := range a.Rects {
+		if a.Rects[i] != b.Rects[i] {
+			t.Fatalf("rect %d differs between identical calls", i)
+		}
+	}
+}
+
+func TestGenerateArrayCellsPixelIdentical(t *testing.T) {
+	// The whole point of the array mode: every cell window rasterizes to
+	// the same bytes, so the dedup cache gets R·C−1 hits.
+	const n, rows, cols = 256, 8, 8
+	l := GenerateArray(rows, cols, ArrayConfig{TileNM: 1024})
+	ix := NewWindowIndex(l, n)
+	const core, halo = 32, 8
+	win := core + 2*halo
+	ref, occ := ix.Window(-halo, -halo, win, win)
+	if !occ {
+		t.Fatal("reference cell window unoccupied")
+	}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			m, occ := ix.Window(c*core-halo, r*core-halo, win, win)
+			if !occ {
+				t.Fatalf("cell (%d,%d) unoccupied", r, c)
+			}
+			for i := range m.Data {
+				if m.Data[i] != ref.Data[i] {
+					t.Fatalf("cell (%d,%d) pixel %d differs from reference", r, c, i)
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateArraySkipsOverhangingCells(t *testing.T) {
+	// A pitch that doesn't divide the tile drops the cells that would
+	// overhang instead of producing an invalid layout.
+	l := GenerateArray(3, 3, ArrayConfig{TileNM: 1000, PitchXNM: 400, PitchYNM: 400})
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(l.Rects) >= 3*3*2 {
+		t.Fatalf("expected overhanging cells to be dropped, got %d rects", len(l.Rects))
+	}
+	if len(l.Rects) == 0 {
+		t.Fatal("no rects placed at all")
+	}
+}

@@ -2,6 +2,7 @@ package layout
 
 import (
 	"fmt"
+	"sort"
 
 	"cfaopc/internal/grid"
 )
@@ -142,6 +143,132 @@ func (ix *WindowIndex) N() int { return ix.n }
 func (ix *WindowIndex) Bytes() int64 {
 	const spanBytes = 4 * 8 // four ints
 	return int64(ix.spans)*spanBytes + int64(len(ix.bands))*24
+}
+
+// Occupancy returns the number of foreground pixels the w×h window at
+// origin (x0, y0) would contain, without allocating the raster. For a
+// validated layout (non-overlapping rects) the count is exact: the
+// center-sample convention maps disjoint rects to disjoint pixel spans,
+// so summing clipped span areas never double-counts. The occupancy scan
+// is what the adaptive tiling plan is computed from, so it must agree
+// with Window: occupancy zero if and only if Window reports unoccupied.
+func (ix *WindowIndex) Occupancy(x0, y0, w, h int) int {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("layout: invalid window %dx%d", w, h))
+	}
+	gy0, gy1 := y0, y0+h
+	if gy0 < 0 {
+		gy0 = 0
+	}
+	if gy1 > ix.n {
+		gy1 = ix.n
+	}
+	if gy0 >= gy1 {
+		return 0
+	}
+	total := 0
+	for b := gy0 / ix.bandRows; b <= (gy1-1)/ix.bandRows; b++ {
+		lo, hi := b*ix.bandRows, (b+1)*ix.bandRows
+		for _, s := range ix.bands[b] {
+			// Clip rows to the bucket (spans repeat across buckets),
+			// then to the window, then columns to the window ∩ grid.
+			if s.Y0 < lo {
+				s.Y0 = lo
+			}
+			if s.Y1 > hi {
+				s.Y1 = hi
+			}
+			if s.Y0 < y0 {
+				s.Y0 = y0
+			}
+			if s.Y1 > y0+h {
+				s.Y1 = y0 + h
+			}
+			if s.X0 < x0 {
+				s.X0 = x0
+			}
+			if s.X1 > x0+w {
+				s.X1 = x0 + w
+			}
+			if s.X0 < s.X1 && s.Y0 < s.Y1 {
+				total += (s.X1 - s.X0) * (s.Y1 - s.Y0)
+			}
+		}
+	}
+	return total
+}
+
+// Span is one owning rectangle's half-open pixel footprint
+// [X0, X1) × [Y0, Y1) translated into window-local coordinates. It is
+// the canonical geometry the window dedup cache hashes alongside the
+// target raster: two windows over pixel-identical content produce
+// identical span lists regardless of where they sit on the full grid.
+type Span struct{ X0, X1, Y0, Y1 int }
+
+// WindowSpans returns the canonical window-local footprint of every
+// indexed rect that overlaps the w×h window at (x0, y0): clipped to the
+// window ∩ grid, translated so the window origin is (0, 0), deduplicated
+// (a rect bucketed into several row bands appears once), and sorted by
+// (Y0, X0, Y1, X1). The result is independent of the index's internal
+// bucket size, so it is a stable cache-key ingredient.
+func (ix *WindowIndex) WindowSpans(x0, y0, w, h int) []Span {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("layout: invalid window %dx%d", w, h))
+	}
+	gy0, gy1 := y0, y0+h
+	if gy0 < 0 {
+		gy0 = 0
+	}
+	if gy1 > ix.n {
+		gy1 = ix.n
+	}
+	if gy0 >= gy1 {
+		return nil
+	}
+	seen := make(map[Span]struct{})
+	var out []Span
+	for b := gy0 / ix.bandRows; b <= (gy1-1)/ix.bandRows; b++ {
+		for _, s := range ix.bands[b] {
+			// Clip the FULL span (not the bucket-clipped one) to the
+			// window so the same rect yields the same Span from every
+			// bucket that lists it; the dedup map collapses repeats.
+			c := Span{X0: s.X0 - x0, X1: s.X1 - x0, Y0: s.Y0 - y0, Y1: s.Y1 - y0}
+			if c.X0 < 0 {
+				c.X0 = 0
+			}
+			if c.Y0 < 0 {
+				c.Y0 = 0
+			}
+			if c.X1 > w {
+				c.X1 = w
+			}
+			if c.Y1 > h {
+				c.Y1 = h
+			}
+			if c.X0 >= c.X1 || c.Y0 >= c.Y1 {
+				continue
+			}
+			if _, dup := seen[c]; dup {
+				continue
+			}
+			seen[c] = struct{}{}
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Y0 != b.Y0 {
+			return a.Y0 < b.Y0
+		}
+		if a.X0 != b.X0 {
+			return a.X0 < b.X0
+		}
+		if a.Y1 != b.Y1 {
+			return a.Y1 < b.Y1
+		}
+		return a.X1 < b.X1
+	})
+	return out
 }
 
 // Window rasterizes the w×h window at origin (x0, y0) using the span

@@ -1,0 +1,275 @@
+package wcache
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cfaopc/internal/geom"
+)
+
+func testEntry(n int) *Entry {
+	e := &Entry{Path: "primary", Attempts: 1, Iters: 7, LastLoss: 0.25}
+	for i := 0; i < n; i++ {
+		e.Shots = append(e.Shots, geom.Circle{X: float64(i) + 0.5, Y: float64(2 * i), R: 1.5})
+	}
+	return e
+}
+
+func key(s string) Key {
+	return WindowKey("test-prefix", WindowDesc{W: 4, H: 4, Raster: make([]float64, 16),
+		Spans: []Span{{0, 1, 0, 1}}, CoreX: 1, CoreY: 1, CoreW: 2, CoreH: 2}) + Key(s)
+}
+
+func TestMemoryHitMissAndStats(t *testing.T) {
+	c, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(key("a")); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put(key("a"), testEntry(3))
+	e, ok := c.Get(key("a"))
+	if !ok || len(e.Shots) != 3 {
+		t.Fatalf("expected hit with 3 shots, got ok=%v e=%+v", ok, e)
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 1 || s.Puts != 1 || s.Entries != 1 || s.Bytes <= 0 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestLRUEvictionByEntries(t *testing.T) {
+	c, err := New(Config{MaxEntries: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put(key("a"), testEntry(1))
+	c.Put(key("b"), testEntry(1))
+	if _, ok := c.Get(key("a")); !ok { // refresh a so b is LRU
+		t.Fatal("a missing")
+	}
+	c.Put(key("c"), testEntry(1))
+	if _, ok := c.Get(key("b")); ok {
+		t.Fatal("b should have been evicted")
+	}
+	if _, ok := c.Get(key("a")); !ok {
+		t.Fatal("a should have survived (recently used)")
+	}
+	if _, ok := c.Get(key("c")); !ok {
+		t.Fatal("c should be resident")
+	}
+	if s := c.Stats(); s.Evictions != 1 || s.Entries != 2 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestLRUEvictionByBytes(t *testing.T) {
+	small := testEntry(1)
+	budget := 3 * small.bytes() // fits three small entries, not a big one plus two
+	c, err := New(Config{MaxBytes: budget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put(key("a"), testEntry(1))
+	c.Put(key("b"), testEntry(1))
+	c.Put(key("big"), testEntry(500))
+	// The oversized entry stays (never evict the only/newest down to zero
+	// below one entry), everything older goes.
+	if _, ok := c.Get(key("big")); !ok {
+		t.Fatal("newest entry must be resident")
+	}
+	if _, ok := c.Get(key("a")); ok {
+		t.Fatal("a should have been evicted by the byte budget")
+	}
+	// Replacing a key in place adjusts the byte account instead of leaking.
+	c2, _ := New(Config{})
+	c2.Put(key("x"), testEntry(10))
+	b1 := c2.Stats().Bytes
+	c2.Put(key("x"), testEntry(2))
+	if b2 := c2.Stats().Bytes; b2 >= b1 || c2.Stats().Entries != 1 {
+		t.Fatalf("in-place update bytes %d -> %d entries %d", b1, b2, c2.Stats().Entries)
+	}
+}
+
+func TestDiskRoundTripAcrossCaches(t *testing.T) {
+	dir := t.TempDir()
+	c1, err := New(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := testEntry(5)
+	c1.Put(key("k"), want)
+
+	// A second cache over the same dir — the cross-process scenario.
+	c2, err := New(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c2.Get(key("k"))
+	if !ok {
+		t.Fatal("disk entry not found by fresh cache")
+	}
+	if len(got.Shots) != len(want.Shots) || got.Path != want.Path ||
+		got.Attempts != want.Attempts || got.Iters != want.Iters || got.LastLoss != want.LastLoss {
+		t.Fatalf("round trip mangled entry: %+v vs %+v", got, want)
+	}
+	for i := range got.Shots {
+		if got.Shots[i] != want.Shots[i] {
+			t.Fatalf("shot %d differs: %+v vs %+v", i, got.Shots[i], want.Shots[i])
+		}
+	}
+	s := c2.Stats()
+	if s.DiskHits != 1 || s.Hits != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+	// Second Get is served from memory (promoted).
+	if _, ok := c2.Get(key("k")); !ok {
+		t.Fatal("promoted entry missing")
+	}
+	if s := c2.Stats(); s.DiskHits != 1 || s.Hits != 2 {
+		t.Fatalf("promotion stats %+v", s)
+	}
+}
+
+// corrupt applies f to the stored bytes of key k in dir and reports the path.
+func corrupt(t *testing.T, dir string, k Key, f func([]byte) []byte) string {
+	t.Helper()
+	path := filepath.Join(dir, string(k)+".wce")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, f(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCorruptDiskEntriesDegradeToMiss(t *testing.T) {
+	cases := []struct {
+		name string
+		f    func([]byte) []byte
+	}{
+		{"bit-flip-payload", func(b []byte) []byte { b[len(b)-1] ^= 0x40; return b }},
+		{"bit-flip-magic", func(b []byte) []byte { b[0] ^= 0xff; return b }},
+		{"truncated-payload", func(b []byte) []byte { return b[:len(b)-3] }},
+		{"truncated-header", func(b []byte) []byte { return b[:len(magic)+2] }},
+		{"empty", func(b []byte) []byte { return nil }},
+		{"absurd-length", func(b []byte) []byte {
+			b[len(magic)] = 0xff
+			b[len(magic)+1] = 0xff
+			b[len(magic)+2] = 0xff
+			b[len(magic)+3] = 0xff
+			return b
+		}},
+		{"garbage-gob", func(b []byte) []byte {
+			// Valid frame, nonsense payload: recompute nothing, just zero
+			// the payload so the CRC fails — then separately verify a
+			// CRC-valid empty-path entry is also rejected below.
+			for i := len(magic) + 8; i < len(b); i++ {
+				b[i] = 0
+			}
+			return b
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			c, err := New(Config{Dir: dir})
+			if err != nil {
+				t.Fatal(err)
+			}
+			c.Put(key("k"), testEntry(4))
+			path := corrupt(t, dir, key("k"), tc.f)
+
+			fresh, err := New(Config{Dir: dir})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := fresh.Get(key("k")); ok {
+				t.Fatal("corrupt entry served as a hit")
+			}
+			s := fresh.Stats()
+			if s.BadDisk != 1 || s.Misses != 1 {
+				t.Fatalf("stats %+v", s)
+			}
+			// Self-heal: the bad file is gone, and a re-Put rewrites it.
+			if _, err := os.Stat(path); !os.IsNotExist(err) {
+				t.Fatalf("corrupt file not deleted: %v", err)
+			}
+			fresh.Put(key("k"), testEntry(4))
+			again, err := New(Config{Dir: dir})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := again.Get(key("k")); !ok {
+				t.Fatal("healed entry not readable")
+			}
+		})
+	}
+}
+
+func TestInvalidEntryRejectedOnLoad(t *testing.T) {
+	// A structurally valid frame holding an entry Validate rejects (no
+	// path) must degrade to a miss too.
+	dir := t.TempDir()
+	path := filepath.Join(dir, string(key("k"))+".wce")
+	if err := writeEntry(path, &Entry{}); err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(key("k")); ok {
+		t.Fatal("invalid entry served as a hit")
+	}
+	if s := c.Stats(); s.BadDisk != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestValidateRejectsNonFiniteShots(t *testing.T) {
+	nan := testEntry(1)
+	nan.Shots[0].R = math.NaN()
+	if err := nan.Validate(); err == nil {
+		t.Fatal("NaN shot validated")
+	}
+	inf := testEntry(1)
+	inf.Shots[0].X = math.Inf(1)
+	if err := inf.Validate(); err == nil {
+		t.Fatal("Inf shot validated")
+	}
+	if err := testEntry(0).Validate(); err != nil {
+		t.Fatalf("empty shot list should validate: %v", err)
+	}
+}
+
+func TestNewBadDir(t *testing.T) {
+	file := filepath.Join(t.TempDir(), "occupied")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(Config{Dir: filepath.Join(file, "sub")}); err == nil {
+		t.Fatal("New over an un-creatable dir should fail")
+	}
+}
+
+func TestMemoryOnlyMissDoesNotTouchDisk(t *testing.T) {
+	c, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Dir() != "" {
+		t.Fatalf("memory-only cache reports dir %q", c.Dir())
+	}
+	if _, ok := c.Get(key("nope")); ok {
+		t.Fatal("hit from nowhere")
+	}
+	if s := c.Stats(); s.Misses != 1 || s.BadDisk != 0 {
+		t.Fatalf("stats %+v", s)
+	}
+}
