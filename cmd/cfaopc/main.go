@@ -107,6 +107,10 @@ func main() {
 		quarMaxB    = flag.Int64("quarantine-max-bytes", 0, "retention byte budget for quarantine .qrb files (0 = unlimited)")
 		procWorkers = flag.Int("proc-workers", 0, "tiled flow: run tiles in this many supervised worker subprocesses (0 = in-process; overrides -tile-workers)")
 		workerBin   = flag.String("worker-bin", "", "tiled flow: worker binary for -proc-workers (default: re-execute this binary)")
+		remoteHosts = flag.String("remote-hosts", "", "tiled flow: comma-separated tileworker -listen addresses; tiles shard across them (excludes -proc-workers)")
+		remoteSil   = flag.Duration("remote-silence", 0, "remote hosts: reconnect a host whose frames stop for this long (0 = 10s default)")
+		remoteBack  = flag.Duration("remote-backoff", 0, "remote hosts: base reconnect backoff, doubled per consecutive failure (0 = 50ms default)")
+		remoteLimit = flag.Int("remote-crash-limit", 0, "remote hosts: consecutive failures before a host's breaker opens and its tiles degrade to in-process (0 = 3 default)")
 		winCache    = flag.String("window-cache", "off", "tiled flow: dedup identical windows — off | mem | disk (disk adds a persistent tier under -cache-dir)")
 		cacheDir    = flag.String("cache-dir", "", "tiled flow: directory for the -window-cache disk tier (survives across runs)")
 		adaptive    = flag.Bool("adaptive-tiles", false, "tiled flow: occupancy-adaptive tiling — merge sparse 2×2 blocks, skip empty ones, split dense windows (output stays deterministic)")
@@ -145,6 +149,14 @@ func main() {
 		log.Fatal("-proc-workers needs the tiled flow; set -tile-core > 0")
 	case *workerBin != "" && *procWorkers <= 0:
 		log.Fatal("-worker-bin only applies with -proc-workers > 0")
+	case *remoteHosts != "" && *procWorkers > 0:
+		log.Fatal("-remote-hosts and -proc-workers are mutually exclusive transports; pick one")
+	case *remoteHosts != "" && *tileCore <= 0:
+		log.Fatal("-remote-hosts needs the tiled flow; set -tile-core > 0")
+	case (*remoteSil != 0 || *remoteBack != 0 || *remoteLimit != 0) && *remoteHosts == "":
+		log.Fatal("-remote-silence / -remote-backoff / -remote-crash-limit only apply with -remote-hosts")
+	case *remoteSil < 0 || *remoteBack < 0 || *remoteLimit < 0:
+		log.Fatal("-remote-silence, -remote-backoff, and -remote-crash-limit must be >= 0")
 	case *winCache != "off" && *winCache != "mem" && *winCache != "disk":
 		log.Fatalf("-window-cache %q: want off, mem, or disk", *winCache)
 	case *winCache != "off" && *tileCore <= 0:
@@ -313,6 +325,19 @@ func main() {
 				return cmd
 			}
 		}
+		if *remoteHosts != "" {
+			for _, h := range strings.Split(*remoteHosts, ",") {
+				if h = strings.TrimSpace(h); h != "" {
+					fCfg.RemoteHosts = append(fCfg.RemoteHosts, h)
+				}
+			}
+			if len(fCfg.RemoteHosts) == 0 {
+				log.Fatal("-remote-hosts: no addresses after splitting on commas")
+			}
+			fCfg.RemoteSilence = *remoteSil
+			fCfg.RemoteBackoff = *remoteBack
+			fCfg.RemoteCrashLimit = *remoteLimit
+		}
 		if *maskOut != "" {
 			var err error
 			bandFile, err = newPGMBandWriter(*maskOut, *gridN)
@@ -344,6 +369,10 @@ func main() {
 				fmt.Printf("proc: %d worker crashes survived, %d slots circuit-broken to in-process\n",
 					res.ProcCrashes, res.Broken)
 			}
+			if res.RemoteCrashes > 0 || res.RemoteBroken > 0 {
+				fmt.Printf("remote: %d link failures survived, %d breaker openings degraded tiles to in-process\n",
+					res.RemoteCrashes, res.RemoteBroken)
+			}
 			if *ckptPath != "" {
 				fmt.Printf("resume: re-run with the same flags and -checkpoint %s\n", *ckptPath)
 			}
@@ -369,6 +398,9 @@ func main() {
 		if *procWorkers > 0 {
 			pool = fmt.Sprintf("proc-workers %d", *procWorkers)
 		}
+		if n := len(fCfg.RemoteHosts); n > 0 {
+			pool = fmt.Sprintf("remote-hosts %d", n)
+		}
 		fmt.Printf("flow: %d windows (%d occupied), %s, peak flow memory ≈ %.1f MB\n",
 			res.Tiles, occupied, pool, float64(res.PeakBytes)/(1<<20))
 		if *adaptive {
@@ -391,6 +423,9 @@ func main() {
 			note := ""
 			if ts.Proc {
 				note = "  [proc]"
+			}
+			if ts.Host != "" {
+				note += "  [" + ts.Host + "]"
 			}
 			if ts.Resumed {
 				note += "  [resumed]"
@@ -423,6 +458,10 @@ func main() {
 		if res.ProcCrashes > 0 || res.Broken > 0 {
 			fmt.Printf("proc: %d worker crashes survived, %d slots circuit-broken to in-process\n",
 				res.ProcCrashes, res.Broken)
+		}
+		if res.RemoteCrashes > 0 || res.RemoteBroken > 0 {
+			fmt.Printf("remote: %d link failures survived, %d breaker openings degraded tiles to in-process\n",
+				res.RemoteCrashes, res.RemoteBroken)
 		}
 	} else {
 		mask, shots = optimize(sim, target)

@@ -68,6 +68,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"math"
+	"net"
 	"os/exec"
 	"runtime"
 	"strings"
@@ -229,6 +230,46 @@ type Config struct {
 	// default (50ms).
 	ProcBackoff time.Duration
 
+	// RemoteHosts, when non-empty, shards tiles across TCP tile-worker
+	// hosts (cmd/tileworker -listen) instead of local subprocesses: one
+	// supervised slot per host, speaking the same frame protocol over
+	// the network. The PR 5 supervisor machinery carries over with the
+	// transport swapped — respawn becomes reconnect with exponential
+	// backoff + jitter, the silence watchdog covers dead links and
+	// stalled remotes, and a per-host circuit breaker degrades a
+	// flapping host's tiles to the local in-process ladder (and, with
+	// RemoteCooldown, probes it again later). The determinism contract
+	// is unchanged: results reduce in row-major tile order and resume
+	// state is journal-keyed, so shots, streamed bands and checkpoints
+	// are byte-identical for any host mix, reconnect history, and
+	// interrupt+resume — including a run where zero hosts are reachable,
+	// which completes entirely on the local ladder. Mutually exclusive
+	// with ProcWorkers; requires Engines metadata like proc mode.
+	RemoteHosts []string
+	// RemoteDial overrides the transport used to reach RemoteHosts
+	// (tests route through in-memory pipes or a chaos proxy). Nil dials
+	// plain TCP.
+	RemoteDial func(ctx context.Context, addr string) (net.Conn, error)
+	// RemoteSilence is the per-link silence watchdog: a host that sends
+	// no frame for this long while a task is in flight is presumed dead
+	// or partitioned and its link is cut. Zero means the default (10s).
+	RemoteSilence time.Duration
+	// RemoteBackoff is the base reconnect delay; it doubles per
+	// consecutive failure (capped at 2s) with jitter. Zero means the
+	// default (50ms).
+	RemoteBackoff time.Duration
+	// RemoteCrashLimit is how many consecutive failed dispatches open a
+	// host's circuit breaker. Zero means the default (3).
+	RemoteCrashLimit int
+	// RemoteCooldown is how long an open breaker waits before letting
+	// one probe dispatch through (half-open) — a degraded host can
+	// rejoin the run. Zero means the default (5s); negative makes the
+	// breaker terminal like a subprocess slot's.
+	RemoteCooldown time.Duration
+	// RemoteHandshake bounds each dial + Hello exchange. Zero means the
+	// default (5s).
+	RemoteHandshake time.Duration
+
 	// Cache, when non-nil, is the window dedup cache: each eligible tile
 	// is keyed by a canonical content hash (window target raster, owning
 	// rect spans in window-local coordinates, core geometry, and the
@@ -297,6 +338,47 @@ func (cfg Config) procBackoff() time.Duration {
 	return 50 * time.Millisecond
 }
 
+// remoteSilence / remoteBackoff / remoteCrashLimit / remoteCooldown /
+// remoteHandshake resolve the remote-transport defaults documented on
+// Config.
+func (cfg Config) remoteSilence() time.Duration {
+	if cfg.RemoteSilence > 0 {
+		return cfg.RemoteSilence
+	}
+	return 10 * time.Second
+}
+
+func (cfg Config) remoteBackoff() time.Duration {
+	if cfg.RemoteBackoff > 0 {
+		return cfg.RemoteBackoff
+	}
+	return 50 * time.Millisecond
+}
+
+func (cfg Config) remoteCrashLimit() int {
+	if cfg.RemoteCrashLimit > 0 {
+		return cfg.RemoteCrashLimit
+	}
+	return 3
+}
+
+func (cfg Config) remoteCooldown() time.Duration {
+	if cfg.RemoteCooldown < 0 {
+		return 0 // terminal breaker, like a subprocess slot
+	}
+	if cfg.RemoteCooldown > 0 {
+		return cfg.RemoteCooldown
+	}
+	return 5 * time.Second
+}
+
+func (cfg Config) remoteHandshake() time.Duration {
+	if cfg.RemoteHandshake > 0 {
+		return cfg.RemoteHandshake
+	}
+	return 5 * time.Second
+}
+
 // withInjectedFaults resolves Config.Faults into wrapped optimizers.
 // Both the primary and the fallback see the same plan; attempt indices
 // are global per tile (fallback = TileRetries+1), so one script drives
@@ -353,6 +435,10 @@ type TileStat struct {
 	// subprocess; a tile computed in-process (serial mode, or a
 	// circuit-broken slot) leaves it false.
 	Proc bool
+	// Host is the remote host that produced this tile's final result
+	// ("" for subprocess, in-process, and breaker-degraded tiles).
+	// Provenance only: the result bytes are host-independent.
+	Host string
 	// ProcCrashes counts failed dispatches (worker death, silence kill,
 	// or a worker-reported task error) suffered while this tile was in
 	// flight; the tile still completed through respawn or the
@@ -405,6 +491,13 @@ type Result struct {
 	// execution. Both stay zero without ProcWorkers.
 	ProcCrashes int
 	Broken      int
+	// RemoteCrashes totals failed remote dispatches (connect failures,
+	// link drops, silence kills, rejected handshakes); RemoteBroken
+	// counts breaker-open episodes across hosts (a host that degrades,
+	// heals, and degrades again counts twice). Both stay zero without
+	// RemoteHosts.
+	RemoteCrashes int
+	RemoteBroken  int
 
 	// CacheHits / CacheMisses count cache lookups by freshly processed
 	// tiles (replayed-from-journal tiles perform none); CacheBytes is
@@ -559,6 +652,10 @@ type runEnv struct {
 	quarMu      sync.Mutex // serializes bundle saves with retention pruning
 	procCrashes atomic.Int64
 	procBroken  atomic.Int64
+	// Remote mode keeps its own totals so a mixed report stays honest
+	// about which transport suffered.
+	remoteCrashes atomic.Int64
+	remoteBroken  atomic.Int64
 }
 
 // reportErr surfaces the first asynchronous failure; later ones drop.
@@ -1066,7 +1163,8 @@ func configFingerprint(cfg Config, dxNM float64) string {
 // the config fingerprint above plus the layout identity and geometry.
 // Resuming with a different optimizer chain remains the caller's
 // responsibility, like any cache key. v3 added per-tile cache/adaptive
-// stats and the config-fingerprint split, so v1/v2 journals fail the
+// stats and the config-fingerprint split; v4 added remote-host
+// provenance to TileStat — each bump makes older journals fail the
 // header check instead of decoding garbage.
 func fingerprint(l *layout.Layout, cfg Config) []byte {
 	h := fnv.New64a()
@@ -1077,7 +1175,7 @@ func fingerprint(l *layout.Layout, cfg Config) []byte {
 	for _, r := range l.Rects {
 		fmt.Fprintf(h, "%d,%d,%d,%d\n", r.X, r.Y, r.W, r.H)
 	}
-	return []byte(fmt.Sprintf("cfaopc-flow-v3 %016x", h.Sum64()))
+	return []byte(fmt.Sprintf("cfaopc-flow-v4 %016x", h.Sum64()))
 }
 
 // Run tiles the layout and optimizes every window. It is RunContext with
@@ -1111,6 +1209,10 @@ func RunContext(ctx context.Context, l *layout.Layout, cfg Config) (*Result, err
 		return nil, fmt.Errorf("flow: ProcWorkers set but no WorkerCmd to spawn them with")
 	case cfg.ProcWorkers > 0 && cfg.Engines.Primary == "":
 		return nil, fmt.Errorf("flow: ProcWorkers requires Engines metadata (the worker rebuilds the optimizer chain from it)")
+	case len(cfg.RemoteHosts) > 0 && cfg.ProcWorkers > 0:
+		return nil, fmt.Errorf("flow: RemoteHosts and ProcWorkers are mutually exclusive transports")
+	case len(cfg.RemoteHosts) > 0 && cfg.Engines.Primary == "":
+		return nil, fmt.Errorf("flow: RemoteHosts requires Engines metadata (the worker rebuilds the optimizer chain from it)")
 	case cfg.AdaptiveMergeMax < 0 || cfg.AdaptiveMergeMax > 1 || cfg.AdaptiveSplitMin < 0 || cfg.AdaptiveSplitMin > 1:
 		return nil, fmt.Errorf("flow: adaptive thresholds merge=%g split=%g outside [0, 1]",
 			cfg.AdaptiveMergeMax, cfg.AdaptiveSplitMin)
@@ -1236,9 +1338,16 @@ func RunContext(ctx context.Context, l *layout.Layout, cfg Config) (*Result, err
 		}
 	}
 	procMode := cfg.ProcWorkers > 0
+	remoteMode := len(cfg.RemoteHosts) > 0
 	workers := tileWorkerCount(cfg.TileWorkers, len(jobs))
 	if procMode {
 		workers = tileWorkerCount(cfg.ProcWorkers, len(jobs))
+	}
+	if remoteMode {
+		// One slot per host — slots are pinned to their host, so none
+		// are dropped even when there are fewer jobs than hosts (the
+		// extra slots simply draw nothing).
+		workers = len(cfg.RemoteHosts)
 	}
 
 	// Simulators are built serially up front so a kernel error surfaces
@@ -1270,7 +1379,7 @@ func RunContext(ctx context.Context, l *layout.Layout, cfg Config) (*Result, err
 		return set, nil
 	}
 	var workerSims []map[int]*litho.Simulator
-	if procMode {
+	if procMode || remoteMode {
 		set, err := newSimSet()
 		if err != nil {
 			return nil, err
@@ -1312,7 +1421,16 @@ func RunContext(ctx context.Context, l *layout.Layout, cfg Config) (*Result, err
 
 	jobCh := make(chan tileJob)
 	var wg sync.WaitGroup
-	if procMode {
+	switch {
+	case remoteMode:
+		for i, host := range cfg.RemoteHosts {
+			wg.Add(1)
+			go func(id int, host string) {
+				defer wg.Done()
+				env.runRemoteSlot(ctx, id, host, jobCh, complete)
+			}(i, host)
+		}
+	case procMode:
 		for s := 0; s < workers; s++ {
 			wg.Add(1)
 			go func(id int) {
@@ -1320,7 +1438,7 @@ func RunContext(ctx context.Context, l *layout.Layout, cfg Config) (*Result, err
 				env.runProcSlot(ctx, id, jobCh, complete)
 			}(s)
 		}
-	} else {
+	default:
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
 			go func(sims map[int]*litho.Simulator) {
@@ -1390,6 +1508,8 @@ feed:
 	res.Completed = int(completed.Load())
 	res.ProcCrashes = int(env.procCrashes.Load())
 	res.Broken = int(env.procBroken.Load())
+	res.RemoteCrashes = int(env.remoteCrashes.Load())
+	res.RemoteBroken = int(env.remoteBroken.Load())
 	res.CacheHits = int(env.cacheHits.Load())
 	res.CacheMisses = int(env.cacheMisses.Load())
 	if cfg.Cache != nil {

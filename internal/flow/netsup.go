@@ -1,0 +1,53 @@
+package flow
+
+import (
+	"context"
+	"math/rand"
+
+	"cfaopc/internal/netpool"
+)
+
+// runRemoteSlot is the TCP-transport slot: one per RemoteHosts entry,
+// pinned to its host. It is the same supervised loop as a subprocess
+// slot with the transport swapped — respawn becomes reconnect (with the
+// same exponential backoff + jitter), the silence watchdog covers dead
+// links and stalled remotes alike, and the circuit breaker runs with a
+// cooldown so a partitioned host degrades this slot's tiles to the
+// local in-process ladder for a while and is then probed again. Tiles
+// never migrate between slots mid-flight; a tile interrupted by a link
+// failure is redispatched on the same slot (warm-started from its last
+// journaled partial), so the journal — keyed by tile index — stays the
+// only authority on tile state and the stitched output is byte-
+// identical for any host mix and reconnect history.
+func (env *runEnv) runRemoteSlot(ctx context.Context, id int, host string, jobCh <-chan tileJob, complete func(tileJob, tileOut)) {
+	cfg := env.cfg
+	dialer := netpool.Dialer{
+		// The handshake carries the run's config fingerprint — the same
+		// string that prefixes dedup-cache keys — so a worker pinned to a
+		// different run's config refuses at connect, not mid-tile.
+		Fingerprint: env.keyPrefix,
+		Handshake:   cfg.remoteHandshake(),
+		Dial:        cfg.RemoteDial,
+	}
+	s := &procSlot{
+		env:  env,
+		id:   id,
+		host: host,
+		connect: func(ctx context.Context) (wlink, error) {
+			c, err := dialer.Connect(ctx, host)
+			if err != nil {
+				return nil, err
+			}
+			return c, nil
+		},
+		silence: cfg.remoteSilence(),
+		backoff: netpool.Backoff{
+			Base: cfg.remoteBackoff(), Max: maxProcBackoff,
+			Rng: rand.New(rand.NewSource(int64(id) + 1)),
+		},
+		breaker: netpool.Breaker{Limit: cfg.remoteCrashLimit(), Cooldown: cfg.remoteCooldown()},
+		crashes: &env.remoteCrashes,
+		broken:  &env.remoteBroken,
+	}
+	s.run(ctx, jobCh, complete)
+}

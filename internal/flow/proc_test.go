@@ -25,29 +25,39 @@ import (
 // engine names the proc tests put into Engines metadata.
 func TestMain(m *testing.M) {
 	if procpool.InWorker() {
-		var cache SimCache
-		err := procpool.Serve(os.Stdin, os.Stdout, func(ctx context.Context, task *procpool.Task, sink procpool.Sink) procpool.Reply {
-			b := &task.Bundle
-			reply := procpool.Reply{Index: b.Tile.Index}
-			primary, ok := testEngine(b.Engines.Primary, b.Engines.Iters)
-			if !ok {
-				reply.Err = "unknown test engine " + b.Engines.Primary
-				return reply
-			}
-			fallback, _ := testEngine(b.Engines.Fallback, b.Engines.Iters)
-			sim, err := cache.For(task)
-			if err != nil {
-				reply.Err = err.Error()
-				return reply
-			}
-			return ServeTask(ctx, sim, task, primary, fallback, sink)
-		})
-		if err != nil {
+		if addr := os.Getenv(netListenEnv); addr != "" {
+			// Spawned as a loopback TCP host for the net tests.
+			runNetHost(addr)
+		}
+		if err := procpool.Serve(os.Stdin, os.Stdout, testRunner()); err != nil {
 			os.Exit(1)
 		}
 		os.Exit(0)
 	}
 	os.Exit(m.Run())
+}
+
+// testRunner is the worker-side task executor the re-exec branches
+// serve (pipe and TCP alike): the proc tests' miniature of the engine
+// registry, with a per-session simulator cache.
+func testRunner() procpool.Runner {
+	var cache SimCache
+	return func(ctx context.Context, task *procpool.Task, sink procpool.Sink) procpool.Reply {
+		b := &task.Bundle
+		reply := procpool.Reply{Index: b.Tile.Index}
+		primary, ok := testEngine(b.Engines.Primary, b.Engines.Iters)
+		if !ok {
+			reply.Err = "unknown test engine " + b.Engines.Primary
+			return reply
+		}
+		fallback, _ := testEngine(b.Engines.Fallback, b.Engines.Iters)
+		sim, err := cache.For(task)
+		if err != nil {
+			reply.Err = err.Error()
+			return reply
+		}
+		return ServeTask(ctx, sim, task, primary, fallback, sink)
+	}
 }
 
 // testEngine maps the engine names the proc tests use ("rule",
@@ -94,12 +104,14 @@ func procConfig(t *testing.T) Config {
 	return cfg
 }
 
-// serialRef strips proc mode off a config, yielding the in-process
-// serial run every proc test compares against (Fault.Kill is a no-op
-// in-process, so the same fault plan drives both runs).
+// serialRef strips proc and remote mode off a config, yielding the
+// in-process serial run every proc/net test compares against
+// (Fault.Kill is a no-op in-process, so the same fault plan drives
+// both runs).
 func serialRef(cfg Config) Config {
 	cfg.ProcWorkers = 0
 	cfg.WorkerCmd = nil
+	cfg.RemoteHosts = nil
 	cfg.TileWorkers = 1
 	return cfg
 }

@@ -4,47 +4,76 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 	"time"
 
 	"cfaopc/internal/grid"
+	"cfaopc/internal/netpool"
 	"cfaopc/internal/opt"
 	"cfaopc/internal/procpool"
 )
 
-// maxProcBackoff caps the exponential respawn delay so a long crash
-// loop stays responsive enough to reach the circuit breaker quickly.
+// maxProcBackoff caps the exponential respawn/reconnect delay so a
+// long crash loop stays responsive enough to reach the circuit breaker
+// quickly.
 const maxProcBackoff = 2 * time.Second
 
-// procSlot is one supervised worker slot: a lane of the proc-mode pool
-// that owns at most one worker subprocess at a time. The slot — not the
-// process — is the unit of scheduling: a tile stays pinned to its slot
-// across worker crashes and respawns, and when the slot circuit-breaks
-// it degrades to the shared in-process simulator, so the run always
-// completes no matter how hostile the worker binary is.
+// wlink is the supervisor's view of one worker transport: tasks in via
+// Send, everything out — including death — via the Events stream.
+// procpool.Worker (a subprocess on stdin/stdout pipes) and netpool.Conn
+// (a TCP session to a listening host) both satisfy it, which is what
+// lets one slot loop supervise both: respawn and reconnect are the same
+// move, and the silence watchdog covers a wedged process and a dead
+// link alike.
+type wlink interface {
+	Send(*procpool.Task) error
+	Events() <-chan procpool.Event
+	Kill()
+	Close()
+}
+
+// procSlot is one supervised worker slot: a lane of the proc- or
+// remote-mode pool that owns at most one worker link at a time. The
+// slot — not the process or the connection — is the unit of
+// scheduling: a tile stays pinned to its slot across worker crashes,
+// respawns and reconnects, and when the slot's breaker opens it
+// degrades to the shared in-process simulator, so the run always
+// completes no matter how hostile the worker binary or the network is.
 type procSlot struct {
 	env *runEnv
 	id  int
+	// host is "" for a subprocess slot and the remote address for a TCP
+	// slot; it feeds TileStat.Host/Proc provenance.
+	host string
 
-	w           *procpool.Worker
-	consecutive int  // consecutive failed dispatches across tiles
-	broken      bool // circuit breaker tripped: in-process from here on
+	// connect establishes a fresh link: spawn a subprocess, or dial and
+	// handshake a remote host.
+	connect func(ctx context.Context) (wlink, error)
+	silence time.Duration   // watchdog bound on inter-frame gaps
+	backoff netpool.Backoff // reconnect/respawn delay schedule
+	// breaker is the slot's circuit breaker. Subprocess slots run it
+	// terminal (no cooldown — a broken slot stays in-process for the
+	// rest of the run, the PR 5 contract); remote slots give it a
+	// cooldown so a partitioned host is probed again and can heal.
+	breaker netpool.Breaker
+	crashes *atomic.Int64 // run-wide failed-dispatch total for this transport
+	broken  *atomic.Int64 // run-wide breaker-open episodes for this transport
+
+	w wlink
 
 	// resume is the freshest snapshot observed for the in-flight tile
 	// (from the journal at first dispatch, then from Partial frames), so
 	// a redispatch warm-starts instead of recomputing — and, because the
-	// optimizer state rides along, replays the exact same trajectory.
+	// optimizer state rides along, replays the exact same trajectory,
+	// even when the replacement worker is a different host.
 	resume *procpool.PartialState
-
-	rng *rand.Rand // jitter; seeded per slot for determinism of tests
 }
 
-// runProcSlot is the proc-mode worker loop: one goroutine per slot,
-// consuming tiles from jobCh and completing each through dispatch →
-// respawn → circuit-break, mirroring the in-process worker loop's
-// contract (complete is called exactly once per received tile unless
-// the run is canceled).
-func (env *runEnv) runProcSlot(ctx context.Context, id int, jobCh <-chan tileJob, complete func(tileJob, tileOut)) {
-	s := &procSlot{env: env, id: id, rng: rand.New(rand.NewSource(int64(id) + 1))}
+// run is the slot loop shared by both transports: consume tiles from
+// jobCh and complete each through dispatch → reconnect → circuit-break,
+// mirroring the in-process worker loop's contract (complete is called
+// exactly once per received tile unless the run is canceled).
+func (s *procSlot) run(ctx context.Context, jobCh <-chan tileJob, complete func(tileJob, tileOut)) {
 	defer s.shutdown()
 	for j := range jobCh {
 		if ctx.Err() != nil {
@@ -54,11 +83,36 @@ func (env *runEnv) runProcSlot(ctx context.Context, id int, jobCh <-chan tileJob
 	}
 }
 
-// runTileProc drives one tile to completion through the slot's worker:
+// runProcSlot is the subprocess-transport slot: spawn via WorkerCmd,
+// terminal breaker, the exact PR 5 semantics.
+func (env *runEnv) runProcSlot(ctx context.Context, id int, jobCh <-chan tileJob, complete func(tileJob, tileOut)) {
+	cfg := env.cfg
+	s := &procSlot{
+		env: env,
+		id:  id,
+		connect: func(context.Context) (wlink, error) {
+			w, err := procpool.StartHello(cfg.WorkerCmd(), cfg.procSilence())
+			if err != nil {
+				return nil, err
+			}
+			return w, nil
+		},
+		silence: cfg.procSilence(),
+		backoff: netpool.Backoff{
+			Base: cfg.procBackoff(), Max: maxProcBackoff,
+			Rng: rand.New(rand.NewSource(int64(id) + 1)), // per-slot seed: deterministic tests
+		},
+		breaker: netpool.Breaker{Limit: cfg.procCrashLimit()},
+		crashes: &env.procCrashes,
+		broken:  &env.procBroken,
+	}
+	s.run(ctx, jobCh, complete)
+}
+
+// runTileProc drives one tile to completion through the slot's link:
 // rasterize supervisor-side, dispatch until a reply lands or the
-// breaker trips, then (broken) fall back to the shared in-process
-// degradation ladder. Every failed dispatch is counted on the tile and
-// the run.
+// breaker opens, then fall back to the shared in-process degradation
+// ladder. Every failed dispatch is counted on the tile and the run.
 func (s *procSlot) runTileProc(ctx context.Context, j tileJob) tileOut {
 	env := s.env
 	cfg := env.cfg
@@ -91,31 +145,36 @@ func (s *procSlot) runTileProc(ctx context.Context, j tileJob) tileOut {
 	}
 
 	dispatch := 0
-	for !s.broken && ctx.Err() == nil {
+	for ctx.Err() == nil && s.breaker.Allow() {
 		reply, ok := s.dispatch(ctx, j, target, dispatch)
 		if ok {
-			s.consecutive = 0
+			s.breaker.Success()
 			out.stat.ProcCrashes = dispatch
-			out.stat.Proc = true
+			out.stat.Proc = s.host == ""
+			out.stat.Host = s.host
 			env.applyReply(j, target, reply, &out)
 			env.storeCache(j, &out)
 			return out
 		}
 		dispatch++
-		env.procCrashes.Add(1)
-		s.consecutive++
-		if s.consecutive >= cfg.procCrashLimit() {
-			s.breakSlot()
+		s.crashes.Add(1)
+		if s.breaker.Failure() {
+			// The breaker opened: a new degradation episode. Terminal
+			// for subprocess slots; remote slots re-probe after the
+			// cooldown, but this tile (and every tile drawn while the
+			// breaker is open) completes locally.
+			s.killWorker()
+			s.broken.Add(1)
 		}
 	}
 	out.stat.ProcCrashes = dispatch
 	if ctx.Err() != nil {
 		return out
 	}
-	// Circuit-broken: the shared in-process simulator finishes the tile
-	// (and every later tile this slot draws). fbMu serializes slots on
-	// it; the output is identical to what a healthy worker would have
-	// produced, because both run the same ladder on the same target.
+	// Breaker open: the shared in-process simulator finishes the tile.
+	// fbMu serializes slots on it; the output is identical to what a
+	// healthy worker would have produced, because both run the same
+	// ladder on the same target.
 	env.fbMu.Lock()
 	defer env.fbMu.Unlock()
 	env.ladder(ctx, env.fbSims[j.window], j, target, &out)
@@ -123,11 +182,11 @@ func (s *procSlot) runTileProc(ctx context.Context, j tileJob) tileOut {
 	return out
 }
 
-// dispatch hands the tile to the slot's worker — spawning or respawning
-// one as needed — and awaits its reply. ok is false when the dispatch
-// failed (spawn error, worker death, silence kill, protocol garbage, or
-// a worker-reported task error) and the tile must be redispatched or
-// degraded.
+// dispatch hands the tile to the slot's link — establishing or
+// re-establishing one as needed — and awaits its reply. ok is false
+// when the dispatch failed (connect error, worker death, link drop,
+// silence kill, protocol garbage, or a worker-reported task error) and
+// the tile must be redispatched or degraded.
 func (s *procSlot) dispatch(ctx context.Context, j tileJob, target *grid.Real, dispatchN int) (*procpool.Reply, bool) {
 	w, err := s.ensureWorker(ctx)
 	if err != nil || w == nil {
@@ -159,15 +218,15 @@ func (env *runEnv) buildTask(j tileJob, target *grid.Real, dispatch int, resume 
 	return t
 }
 
-// await consumes worker events until a reply for j arrives, the worker
-// dies, or it goes silent past ProcSilence. Any frame — ping, beat,
-// partial — counts as liveness; Partial frames are additionally
-// journaled and retained for redispatch, exactly like an in-process
-// snapshot.
-func (s *procSlot) await(ctx context.Context, w *procpool.Worker, j tileJob) (*procpool.Reply, bool) {
+// await consumes link events until a reply for j arrives, the link
+// dies, or it goes silent past the slot's silence bound. Any frame —
+// ping, beat, partial — counts as liveness; Partial frames are
+// additionally journaled and retained for redispatch, exactly like an
+// in-process snapshot, so a host that dies mid-tile hands its progress
+// to the replacement.
+func (s *procSlot) await(ctx context.Context, w wlink, j tileJob) (*procpool.Reply, bool) {
 	env := s.env
-	silence := env.cfg.procSilence()
-	timer := time.NewTimer(silence)
+	timer := time.NewTimer(s.silence)
 	defer timer.Stop()
 	for {
 		select {
@@ -175,15 +234,16 @@ func (s *procSlot) await(ctx context.Context, w *procpool.Worker, j tileJob) (*p
 			s.killWorker()
 			return nil, false
 		case <-timer.C:
-			// Alive but mute beyond even its ping loop: wedged. Kill and
-			// let the dispatch counter decide respawn vs breaker.
+			// Alive but mute beyond even its ping loop: a wedged process
+			// or a stalled link. Kill and let the dispatch counter decide
+			// reconnect vs breaker.
 			s.killWorker()
 			return nil, false
 		case ev := <-w.Events():
 			if !timer.Stop() {
 				<-timer.C
 			}
-			timer.Reset(silence)
+			timer.Reset(s.silence)
 			switch ev.Kind {
 			case procpool.EvExit:
 				s.w = nil
@@ -202,7 +262,7 @@ func (s *procSlot) await(ctx context.Context, w *procpool.Worker, j tileJob) (*p
 			case procpool.EvReply:
 				if ev.Reply.Index != j.index {
 					// Protocol confusion (a stale reply for some other
-					// tile): this worker cannot be trusted with the tile.
+					// tile): this link cannot be trusted with the tile.
 					s.killWorker()
 					return nil, false
 				}
@@ -247,25 +307,25 @@ func (env *runEnv) applyReply(j tileJob, target *grid.Real, r *procpool.Reply, o
 	}
 }
 
-// ensureWorker returns the slot's live worker, spawning one — after the
-// crash-count-proportional backoff — when needed, and waiting for its
-// Hello handshake so a binary that is not a tile worker fails the
-// dispatch instead of wedging it.
-func (s *procSlot) ensureWorker(ctx context.Context) (*procpool.Worker, error) {
+// ensureWorker returns the slot's live link, establishing one — after
+// the failure-count-proportional backoff — when needed, and waiting for
+// its Hello so a peer that is not a tile worker fails the dispatch
+// instead of wedging it.
+func (s *procSlot) ensureWorker(ctx context.Context) (wlink, error) {
 	if s.w != nil {
 		return s.w, nil
 	}
 	if !s.backoffWait(ctx) {
 		return nil, ctx.Err()
 	}
-	w, err := procpool.Start(s.env.cfg.WorkerCmd())
+	w, err := s.connect(ctx)
 	if err != nil {
-		// A spawn failure (missing binary, fork limits) is a failed
-		// dispatch, not a run failure: the breaker degrades the slot to
-		// in-process and the run completes.
+		// A connect failure (missing binary, fork limits, dead or
+		// partitioned host) is a failed dispatch, not a run failure: the
+		// breaker degrades the slot and the run completes.
 		return nil, err
 	}
-	timer := time.NewTimer(s.env.cfg.procSilence())
+	timer := time.NewTimer(s.silence)
 	defer timer.Stop()
 	for {
 		select {
@@ -274,7 +334,7 @@ func (s *procSlot) ensureWorker(ctx context.Context) (*procpool.Worker, error) {
 			return nil, ctx.Err()
 		case <-timer.C:
 			w.Kill()
-			return nil, fmt.Errorf("flow: worker pid %d sent no hello", w.PID())
+			return nil, fmt.Errorf("flow: worker sent no hello")
 		case ev := <-w.Events():
 			switch ev.Kind {
 			case procpool.EvHello:
@@ -287,19 +347,15 @@ func (s *procSlot) ensureWorker(ctx context.Context) (*procpool.Worker, error) {
 	}
 }
 
-// backoffWait sleeps the exponential respawn delay for the current
+// backoffWait sleeps the exponential retry delay for the current
 // consecutive-failure count (none after a clean dispatch), with jitter
-// so a crash-looping fleet does not respawn in lockstep. It reports
+// so a crash-looping fleet does not retry in lockstep. It reports
 // false when ctx was canceled during the wait.
 func (s *procSlot) backoffWait(ctx context.Context) bool {
-	if s.consecutive == 0 {
+	d := s.backoff.Next(s.breaker.Consecutive())
+	if d <= 0 {
 		return true
 	}
-	d := s.env.cfg.procBackoff() << uint(s.consecutive-1)
-	if d > maxProcBackoff {
-		d = maxProcBackoff
-	}
-	d += time.Duration(s.rng.Int63n(int64(d)/2 + 1))
 	t := time.NewTimer(d)
 	defer t.Stop()
 	select {
@@ -310,19 +366,8 @@ func (s *procSlot) backoffWait(ctx context.Context) bool {
 	}
 }
 
-// breakSlot trips the circuit breaker: the slot abandons worker
-// subprocesses for good and every tile it draws from here on runs on
-// the shared in-process simulator.
-func (s *procSlot) breakSlot() {
-	if s.broken {
-		return
-	}
-	s.broken = true
-	s.killWorker()
-	s.env.procBroken.Add(1)
-}
-
-// killWorker discards the slot's worker immediately (SIGKILL).
+// killWorker discards the slot's link immediately (SIGKILL / TCP
+// reset-equivalent close).
 func (s *procSlot) killWorker() {
 	if s.w != nil {
 		s.w.Kill()
@@ -330,8 +375,8 @@ func (s *procSlot) killWorker() {
 	}
 }
 
-// shutdown ends the slot: a healthy worker gets a graceful close
-// (stdin EOF → clean exit), anything else is already gone.
+// shutdown ends the slot: a healthy link gets a graceful close (EOF →
+// clean worker exit), anything else is already gone.
 func (s *procSlot) shutdown() {
 	if s.w != nil {
 		s.w.Close()

@@ -1,0 +1,493 @@
+package netpool
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"cfaopc/internal/procpool"
+	"cfaopc/internal/quarantine"
+)
+
+// echoRunner is the fake task executor behind every test server: one
+// beat, optionally one partial, then a reply echoing the tile index.
+func echoRunner() procpool.Runner {
+	return func(_ context.Context, t *procpool.Task, sink procpool.Sink) procpool.Reply {
+		index := t.Bundle.Tile.Index
+		sink.Beat(index, 1, 0.25)
+		if t.PartialEvery > 0 {
+			sink.Partial(index, procpool.PartialState{Iter: 1, Params: []float64{1, 2}})
+		}
+		return procpool.Reply{Index: index, Path: "primary"}
+	}
+}
+
+func task(index int) *procpool.Task {
+	return &procpool.Task{Bundle: quarantine.Bundle{Tile: quarantine.Tile{Index: index}}}
+}
+
+// startServer runs srv on a fresh loopback listener; cleanup closes the
+// listener and verifies Serve returned cleanly.
+func startServer(t *testing.T, srv *Server) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	t.Cleanup(func() {
+		ln.Close()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Errorf("Serve returned %v on listener close", err)
+			}
+		case <-time.After(15 * time.Second):
+			t.Error("Serve did not return after listener close")
+		}
+	})
+	return ln.Addr().String()
+}
+
+func awaitConn(t *testing.T, c *Conn, k procpool.EventKind) procpool.Event {
+	t.Helper()
+	deadline := time.After(30 * time.Second)
+	for {
+		select {
+		case ev := <-c.Events():
+			if ev.Kind == k {
+				return ev
+			}
+			if ev.Kind == procpool.EvExit {
+				t.Fatalf("link died (err %v) while waiting for event kind %d", ev.Err, k)
+			}
+		case <-deadline:
+			t.Fatalf("timed out waiting for event kind %d", k)
+		}
+	}
+}
+
+func TestDialServeRoundTrip(t *testing.T) {
+	addr := startServer(t, &Server{Runner: echoRunner})
+	c, err := Dialer{Fingerprint: "cfg-A"}.Connect(context.Background(), addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Kill()
+
+	hello := awaitConn(t, c, procpool.EvHello)
+	if hello.Hello.Version != procpool.ProtocolVersion {
+		t.Fatalf("hello version = %d", hello.Hello.Version)
+	}
+	if hello.Hello.Fingerprint != "cfg-A" {
+		t.Fatalf("hello fingerprint = %q, want echo of cfg-A", hello.Hello.Fingerprint)
+	}
+	if err := c.Send(task(11)); err != nil {
+		t.Fatal(err)
+	}
+	if beat := awaitConn(t, c, procpool.EvBeat); beat.Beat.Index != 11 {
+		t.Fatalf("beat index = %d", beat.Beat.Index)
+	}
+	if reply := awaitConn(t, c, procpool.EvReply); reply.Reply.Index != 11 || reply.Reply.Path != "primary" {
+		t.Fatalf("reply = %+v", reply.Reply)
+	}
+	// A second task on the same session: the loop must survive.
+	if err := c.Send(task(12)); err != nil {
+		t.Fatal(err)
+	}
+	if reply := awaitConn(t, c, procpool.EvReply); reply.Reply.Index != 12 {
+		t.Fatalf("second reply index = %d", reply.Reply.Index)
+	}
+	// Graceful close: the worker loop gets its EOF and the link winds
+	// down with a clean exit.
+	c.Close()
+	if ev := <-c.Events(); ev.Kind != procpool.EvExit || ev.Err != io.EOF {
+		t.Fatalf("after close: event %v err %v, want clean EvExit", ev.Kind, ev.Err)
+	}
+}
+
+func TestPartialFramesForwarded(t *testing.T) {
+	addr := startServer(t, &Server{Runner: echoRunner})
+	c, err := Dialer{}.Connect(context.Background(), addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Kill()
+	awaitConn(t, c, procpool.EvHello)
+	want := task(5)
+	want.PartialEvery = 1
+	if err := c.Send(want); err != nil {
+		t.Fatal(err)
+	}
+	if p := awaitConn(t, c, procpool.EvPartial); p.Partial.Index != 5 || len(p.Partial.State.Params) != 2 {
+		t.Fatalf("partial = %+v", p.Partial)
+	}
+	awaitConn(t, c, procpool.EvReply)
+}
+
+func TestHandshakePin(t *testing.T) {
+	addr := startServer(t, &Server{Pin: "cfg-A", Runner: echoRunner})
+	// The matching coordinator connects and works.
+	c, err := Dialer{Fingerprint: "cfg-A"}.Connect(context.Background(), addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	awaitConn(t, c, procpool.EvHello)
+	c.Kill()
+	// A coordinator with a different run config is refused at the
+	// handshake — config skew never reaches a task.
+	if _, err := (Dialer{Fingerprint: "cfg-B"}).Connect(context.Background(), addr); err == nil {
+		t.Fatal("fingerprint mismatch accepted")
+	} else if !strings.Contains(err.Error(), "refused") {
+		t.Fatalf("mismatch error = %v, want a worker refusal", err)
+	}
+	// No fingerprint at all is also a mismatch against a pinned worker.
+	if _, err := (Dialer{}).Connect(context.Background(), addr); err == nil {
+		t.Fatal("empty fingerprint accepted by pinned worker")
+	}
+}
+
+func TestHandshakeVersionSkew(t *testing.T) {
+	addr := startServer(t, &Server{Runner: echoRunner})
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	payload, err := procpool.EncodeMessage(&procpool.Message{Hello: &procpool.Hello{
+		Version: procpool.ProtocolVersion + 1, PID: 1,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := procpool.WriteFrame(nc, payload); err != nil {
+		t.Fatal(err)
+	}
+	answer, err := procpool.ReadFrame(nc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := procpool.DecodeMessage(answer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Hello == nil || m.Hello.Reject == "" || !strings.Contains(m.Hello.Reject, "skew") {
+		t.Fatalf("answer = %+v, want a version-skew reject", m)
+	}
+	// The reject is terminal: the worker closes the connection.
+	nc.SetReadDeadline(time.Now().Add(10 * time.Second))
+	if _, err := procpool.ReadFrame(nc); err == nil {
+		t.Fatal("worker kept the connection open after a reject")
+	}
+}
+
+func TestHandshakeRejectsNonHelloFirstFrame(t *testing.T) {
+	addr := startServer(t, &Server{Runner: echoRunner})
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	payload, err := procpool.EncodeMessage(&procpool.Message{Ping: &procpool.Ping{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := procpool.WriteFrame(nc, payload); err != nil {
+		t.Fatal(err)
+	}
+	answer, err := procpool.ReadFrame(nc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m, err := procpool.DecodeMessage(answer); err != nil || m.Hello == nil || m.Hello.Reject == "" {
+		t.Fatalf("answer = %+v err %v, want a reject", m, err)
+	}
+}
+
+func TestServerHandshakeDeadline(t *testing.T) {
+	// A peer that connects and says nothing (port scanner, wedged
+	// coordinator) is cut loose within the handshake deadline instead
+	// of pinning a session goroutine.
+	addr := startServer(t, &Server{Handshake: 200 * time.Millisecond, Runner: echoRunner})
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	nc.SetReadDeadline(time.Now().Add(10 * time.Second))
+	start := time.Now()
+	if _, err := nc.Read(make([]byte, 1)); err == nil {
+		t.Fatal("silent connection was answered")
+	}
+	if since := time.Since(start); since > 5*time.Second {
+		t.Fatalf("silent connection held for %s", since)
+	}
+}
+
+func TestConnectDeadlineOnSilentServer(t *testing.T) {
+	// A listener that accepts and never answers the Hello: Connect must
+	// fail within its handshake deadline, not hang the slot.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			defer c.Close() // hold it open, say nothing
+		}
+	}()
+	start := time.Now()
+	_, err = Dialer{Handshake: 200 * time.Millisecond}.Connect(context.Background(), ln.Addr().String())
+	if err == nil {
+		t.Fatal("silent server accepted")
+	}
+	if since := time.Since(start); since > 5*time.Second {
+		t.Fatalf("Connect took %s against a silent server", since)
+	}
+}
+
+func TestConnectRefusedPort(t *testing.T) {
+	// Grab a port and close it so nothing listens there.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	if _, err := (Dialer{Handshake: 2 * time.Second}).Connect(context.Background(), addr); err == nil {
+		t.Fatal("Connect to a dead port succeeded")
+	}
+}
+
+func TestKillTearsDownSession(t *testing.T) {
+	addr := startServer(t, &Server{Runner: echoRunner})
+	c, err := Dialer{}.Connect(context.Background(), addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	awaitConn(t, c, procpool.EvHello)
+	c.Kill()
+	// After Kill, sends fail promptly (the link is gone) — poll like
+	// the procpool equivalent, since the close races the write.
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		if err := c.Send(task(1)); err != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("Send kept succeeding after Kill")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// Idempotent, and Close after Kill must not hang.
+	c.Kill()
+	c.Close()
+}
+
+func TestConnSurfacesServerDeath(t *testing.T) {
+	// The server host dies mid-session (listener and session torn
+	// down): the coordinator sees a terminal EvExit, not a hang.
+	srv := &Server{Runner: echoRunner}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	c, err := Dialer{}.Connect(context.Background(), ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Kill()
+	awaitConn(t, c, procpool.EvHello)
+	ln.Close()
+	// Closing the listener alone leaves the session; kill it by
+	// sending a frame the worker loop treats as fatal garbage.
+	nc := c.nc
+	nc.Close() // sever from the client side of the TCP pair
+	ev := <-c.Events()
+	if ev.Kind != procpool.EvExit || ev.Err == nil {
+		t.Fatalf("event = %v err %v, want EvExit with error", ev.Kind, ev.Err)
+	}
+}
+
+func TestProxyFaults(t *testing.T) {
+	addr := startServer(t, &Server{Runner: echoRunner})
+	// Each case dials the worker through a freshly scripted proxy and
+	// asserts the coordinator-visible failure shape.
+	t.Run("refuse", func(t *testing.T) {
+		p, err := NewProxy(addr, ConnScript{Fault: FaultRefuse})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer p.Close()
+		if _, err := (Dialer{Handshake: 2 * time.Second}).Connect(context.Background(), p.Addr()); err == nil {
+			t.Fatal("refused connection handshook")
+		}
+		// The script list is per-connection: the next attempt heals.
+		c, err := Dialer{}.Connect(context.Background(), p.Addr())
+		if err != nil {
+			t.Fatalf("second connection through proxy: %v", err)
+		}
+		defer c.Kill()
+		awaitConn(t, c, procpool.EvHello)
+		if got := p.Accepted(); got != 2 {
+			t.Fatalf("proxy accepted %d connections, want 2", got)
+		}
+	})
+	t.Run("cut", func(t *testing.T) {
+		// Frame 1 server→client is the handshake answer; cutting after
+		// it means the link dies on the first in-flight task.
+		p, err := NewProxy(addr, ConnScript{Fault: FaultCut, AfterFrames: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer p.Close()
+		c, err := Dialer{}.Connect(context.Background(), p.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Kill()
+		awaitConn(t, c, procpool.EvHello)
+		if err := c.Send(task(3)); err != nil {
+			t.Fatal(err)
+		}
+		ev := awaitConn(t, c, procpool.EvExit)
+		if ev.Err == nil {
+			t.Fatal("cut link exited with nil error")
+		}
+	})
+	t.Run("trunc", func(t *testing.T) {
+		p, err := NewProxy(addr, ConnScript{Fault: FaultTrunc, AfterFrames: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer p.Close()
+		c, err := Dialer{}.Connect(context.Background(), p.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Kill()
+		awaitConn(t, c, procpool.EvHello)
+		if err := c.Send(task(3)); err != nil {
+			t.Fatal(err)
+		}
+		ev := awaitConn(t, c, procpool.EvExit)
+		if !errors.Is(ev.Err, procpool.ErrTornFrame) {
+			t.Fatalf("truncated frame exit err = %v, want ErrTornFrame", ev.Err)
+		}
+	})
+	t.Run("garble", func(t *testing.T) {
+		p, err := NewProxy(addr, ConnScript{Fault: FaultGarble, AfterFrames: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer p.Close()
+		c, err := Dialer{}.Connect(context.Background(), p.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Kill()
+		awaitConn(t, c, procpool.EvHello)
+		if err := c.Send(task(3)); err != nil {
+			t.Fatal(err)
+		}
+		ev := awaitConn(t, c, procpool.EvExit)
+		if !errors.Is(ev.Err, procpool.ErrFrameCRC) {
+			t.Fatalf("garbled frame exit err = %v, want ErrFrameCRC", ev.Err)
+		}
+	})
+	t.Run("stall", func(t *testing.T) {
+		p, err := NewProxy(addr, ConnScript{Fault: FaultStall, AfterFrames: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer p.Close()
+		c, err := Dialer{}.Connect(context.Background(), p.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Kill()
+		awaitConn(t, c, procpool.EvHello)
+		if err := c.Send(task(3)); err != nil {
+			t.Fatal(err)
+		}
+		// The link is open but nothing flows: no event arrives. This is
+		// exactly the case only a silence watchdog (the flow's) can
+		// detect; here we just assert the stall is real.
+		select {
+		case ev := <-c.Events():
+			t.Fatalf("stalled link delivered %v", ev.Kind)
+		case <-time.After(500 * time.Millisecond):
+		}
+	})
+	t.Run("delay", func(t *testing.T) {
+		p, err := NewProxy(addr, ConnScript{Fault: FaultDelay, AfterFrames: 1, Delay: 50 * time.Millisecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer p.Close()
+		c, err := Dialer{}.Connect(context.Background(), p.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Kill()
+		awaitConn(t, c, procpool.EvHello)
+		if err := c.Send(task(3)); err != nil {
+			t.Fatal(err)
+		}
+		// Latency, not failure: the reply still lands.
+		if reply := awaitConn(t, c, procpool.EvReply); reply.Reply.Index != 3 {
+			t.Fatalf("reply index = %d", reply.Reply.Index)
+		}
+	})
+	t.Run("after-partials", func(t *testing.T) {
+		// The mid-tile trigger: forward until one Partial snapshot has
+		// crossed, then cut — the deterministic "host died after the
+		// journal saw progress" scenario the flow tests build on.
+		p, err := NewProxy(addr, ConnScript{Fault: FaultCut, AfterPartials: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer p.Close()
+		c, err := Dialer{}.Connect(context.Background(), p.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Kill()
+		awaitConn(t, c, procpool.EvHello)
+		want := task(4)
+		want.PartialEvery = 1
+		if err := c.Send(want); err != nil {
+			t.Fatal(err)
+		}
+		sawPartial := false
+		for {
+			select {
+			case ev := <-c.Events():
+				switch ev.Kind {
+				case procpool.EvPartial:
+					sawPartial = true
+				case procpool.EvExit:
+					if !sawPartial {
+						t.Fatal("link cut before any partial crossed")
+					}
+					return
+				case procpool.EvReply:
+					t.Fatal("reply crossed a link scripted to cut after the partial")
+				}
+			case <-time.After(30 * time.Second):
+				t.Fatal("timed out waiting for the scripted cut")
+			}
+		}
+	})
+}

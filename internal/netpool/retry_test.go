@@ -1,0 +1,157 @@
+package netpool
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestBackoffGrowth(t *testing.T) {
+	// No jitter source: Next is the pure doubling schedule.
+	cases := []struct {
+		name        string
+		b           Backoff
+		consecutive int
+		want        time.Duration
+	}{
+		{"zero-failures", Backoff{Base: 50 * time.Millisecond, Max: 2 * time.Second}, 0, 0},
+		{"negative", Backoff{Base: 50 * time.Millisecond, Max: 2 * time.Second}, -3, 0},
+		{"first", Backoff{Base: 50 * time.Millisecond, Max: 2 * time.Second}, 1, 50 * time.Millisecond},
+		{"second", Backoff{Base: 50 * time.Millisecond, Max: 2 * time.Second}, 2, 100 * time.Millisecond},
+		{"fifth", Backoff{Base: 50 * time.Millisecond, Max: 2 * time.Second}, 5, 800 * time.Millisecond},
+		{"capped", Backoff{Base: 50 * time.Millisecond, Max: 2 * time.Second}, 7, 2 * time.Second},
+		{"far-past-cap", Backoff{Base: 50 * time.Millisecond, Max: 2 * time.Second}, 500, 2 * time.Second},
+		{"overflow-guard", Backoff{Base: time.Second, Max: 4 * time.Second}, 200, 4 * time.Second},
+		{"uncapped", Backoff{Base: 10 * time.Millisecond}, 4, 80 * time.Millisecond},
+		{"disabled", Backoff{}, 3, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.b.Next(tc.consecutive); got != tc.want {
+				t.Fatalf("Next(%d) = %s, want %s", tc.consecutive, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestBackoffJitterBounds(t *testing.T) {
+	// With a jitter source, Next(n) lands in [pure, pure + pure/2] —
+	// the same bound the PR 5 subprocess slots used. Sample broadly and
+	// check variance actually exists (a constant "jitter" defeats the
+	// de-lockstep purpose).
+	b := Backoff{Base: 40 * time.Millisecond, Max: 2 * time.Second, Rng: rand.New(rand.NewSource(1))}
+	for _, consecutive := range []int{1, 2, 3, 6, 9} {
+		pure := Backoff{Base: b.Base, Max: b.Max}.Next(consecutive)
+		seen := map[time.Duration]bool{}
+		for i := 0; i < 200; i++ {
+			d := b.Next(consecutive)
+			if d < pure || d > pure+pure/2 {
+				t.Fatalf("Next(%d) = %s outside [%s, %s]", consecutive, d, pure, pure+pure/2)
+			}
+			seen[d] = true
+		}
+		if len(seen) < 2 {
+			t.Fatalf("Next(%d): 200 samples, no jitter variance", consecutive)
+		}
+	}
+}
+
+// fakeClock drives Breaker cooldowns without sleeping.
+type fakeClock struct{ at time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.at }
+func (c *fakeClock) advance(d time.Duration) { c.at = c.at.Add(d) }
+
+func TestBreakerTransitions(t *testing.T) {
+	clk := &fakeClock{at: time.Unix(0, 0)}
+	b := &Breaker{Limit: 3, Cooldown: 5 * time.Second, Now: clk.now}
+
+	if !b.Allow() || b.State() != BreakerClosed {
+		t.Fatal("fresh breaker not closed")
+	}
+	// Two failures: still closed, streak counted.
+	for i := 1; i <= 2; i++ {
+		if opened := b.Failure(); opened {
+			t.Fatalf("failure %d opened the breaker early", i)
+		}
+		if !b.Allow() {
+			t.Fatalf("closed breaker refused after %d failures", i)
+		}
+	}
+	if b.Consecutive() != 2 {
+		t.Fatalf("consecutive = %d, want 2", b.Consecutive())
+	}
+	// A success heals the streak entirely.
+	b.Success()
+	if b.Consecutive() != 0 || b.State() != BreakerClosed {
+		t.Fatal("success did not reset the breaker")
+	}
+	// Limit consecutive failures open it — exactly on the Limit-th.
+	if b.Failure() || b.Failure() {
+		t.Fatal("opened before the limit")
+	}
+	if !b.Failure() {
+		t.Fatal("limit-th failure did not report opening")
+	}
+	if b.Allow() || b.State() != BreakerOpen {
+		t.Fatal("open breaker allowed a dispatch")
+	}
+	// Cooldown not yet elapsed: still open.
+	clk.advance(4 * time.Second)
+	if b.Allow() {
+		t.Fatal("open breaker allowed before the cooldown")
+	}
+	// Cooldown elapsed: half-open, one probe allowed.
+	clk.advance(2 * time.Second)
+	if !b.Allow() || b.State() != BreakerHalfOpen {
+		t.Fatalf("state after cooldown = %v, want half-open", b.State())
+	}
+	// Failed probe: reopens immediately (no Limit-sized grace), and
+	// counts as a fresh degradation episode.
+	if !b.Failure() {
+		t.Fatal("failed half-open probe did not report reopening")
+	}
+	if b.Allow() {
+		t.Fatal("reopened breaker allowed a dispatch")
+	}
+	// Next cooldown, successful probe: closed and healed.
+	clk.advance(6 * time.Second)
+	if !b.Allow() {
+		t.Fatal("no probe after second cooldown")
+	}
+	b.Success()
+	if b.State() != BreakerClosed || b.Consecutive() != 0 {
+		t.Fatal("successful probe did not close the breaker")
+	}
+}
+
+func TestBreakerTerminalWithoutCooldown(t *testing.T) {
+	// Cooldown <= 0 is the PR 5 subprocess-slot contract: once open,
+	// open for the rest of the run.
+	b := &Breaker{Limit: 2}
+	b.Failure()
+	if !b.Failure() {
+		t.Fatal("second failure did not open")
+	}
+	clk := time.Now().Add(time.Hour)
+	b.Now = func() time.Time { return clk }
+	if b.Allow() || b.State() != BreakerOpen {
+		t.Fatal("terminal breaker reopened after an hour")
+	}
+	// Further failures do not report new episodes.
+	if b.Failure() {
+		t.Fatal("already-open breaker reported opening again")
+	}
+}
+
+func TestBreakerNeverOpensWithoutLimit(t *testing.T) {
+	b := &Breaker{}
+	for i := 0; i < 100; i++ {
+		if b.Failure() {
+			t.Fatal("limitless breaker opened")
+		}
+	}
+	if !b.Allow() {
+		t.Fatal("limitless breaker refused")
+	}
+}

@@ -32,6 +32,13 @@ const MaxFrameBytes = 256 << 20
 // signature of process death mid-write.
 var ErrTornFrame = errors.New("procpool: torn frame")
 
+// ErrFrameTooBig marks a frame rejected by the MaxFrameBytes bound, on
+// either side of the stream: a writer about to ship a payload the peer
+// is contractually obliged to reject fails locally instead, and a
+// reader seeing an oversized declared length refuses it before any
+// allocation.
+var ErrFrameTooBig = errors.New("procpool: frame exceeds MaxFrameBytes")
+
 // ErrFrameCRC marks a fully-present frame whose payload fails its
 // checksum — bit corruption on the pipe, or interleaved writes from a
 // buggy sender.
@@ -45,7 +52,7 @@ var ErrFrameCRC = errors.New("procpool: frame CRC mismatch")
 // mid-frame (callers serializing at the frame level get atomic frames).
 func WriteFrame(w io.Writer, payload []byte) error {
 	if len(payload) > MaxFrameBytes {
-		return fmt.Errorf("procpool: payload %d bytes exceeds frame limit", len(payload))
+		return fmt.Errorf("%w: payload %d bytes", ErrFrameTooBig, len(payload))
 	}
 	frame := make([]byte, 8+len(payload))
 	binary.BigEndian.PutUint32(frame[0:4], uint32(len(payload)))
@@ -65,16 +72,16 @@ func ReadFrame(r io.Reader) ([]byte, error) {
 		if err == io.EOF {
 			return nil, io.EOF
 		}
-		return nil, fmt.Errorf("%w: short header: %v", ErrTornFrame, err)
+		return nil, fmt.Errorf("%w: short header: %w", ErrTornFrame, err)
 	}
 	ln := binary.BigEndian.Uint32(hdr[0:4])
 	want := binary.BigEndian.Uint32(hdr[4:8])
 	if ln > MaxFrameBytes {
-		return nil, fmt.Errorf("procpool: declared frame %d bytes exceeds limit", ln)
+		return nil, fmt.Errorf("%w: declared length %d bytes", ErrFrameTooBig, ln)
 	}
 	payload := make([]byte, ln)
 	if n, err := io.ReadFull(r, payload); err != nil {
-		return nil, fmt.Errorf("%w: %d of %d payload bytes: %v", ErrTornFrame, n, ln, err)
+		return nil, fmt.Errorf("%w: %d of %d payload bytes: %w", ErrTornFrame, n, ln, err)
 	}
 	if crc32.ChecksumIEEE(payload) != want {
 		return nil, ErrFrameCRC

@@ -74,14 +74,24 @@ func TestFrameCRCFlip(t *testing.T) {
 
 func TestFrameOversizeRejected(t *testing.T) {
 	// A hostile header declaring a huge payload must be rejected before
-	// any allocation is attempted.
+	// any allocation is attempted — with the typed limit error, not a
+	// torn-frame misdiagnosis.
 	var hdr [8]byte
 	binary.BigEndian.PutUint32(hdr[0:4], uint32(MaxFrameBytes)+1)
-	if _, err := ReadFrame(bytes.NewReader(hdr[:])); err == nil || errors.Is(err, ErrTornFrame) {
-		t.Fatalf("oversize declared length: err = %v, want limit rejection", err)
+	if _, err := ReadFrame(bytes.NewReader(hdr[:])); !errors.Is(err, ErrFrameTooBig) {
+		t.Fatalf("oversize declared length: err = %v, want ErrFrameTooBig", err)
 	}
-	if err := WriteFrame(io.Discard, make([]byte, MaxFrameBytes+1)); err == nil {
-		t.Fatal("oversize payload accepted by WriteFrame")
+	// The write side enforces the same bound with the same typed error:
+	// a payload the peer is obliged to reject must fail locally instead
+	// of being shipped.
+	if err := WriteFrame(io.Discard, make([]byte, MaxFrameBytes+1)); !errors.Is(err, ErrFrameTooBig) {
+		t.Fatalf("oversize payload: WriteFrame err = %v, want ErrFrameTooBig", err)
+	}
+	// Nothing may reach the stream when the bound trips.
+	var sink bytes.Buffer
+	WriteFrame(&sink, make([]byte, MaxFrameBytes+1))
+	if sink.Len() != 0 {
+		t.Fatalf("rejected frame still wrote %d bytes", sink.Len())
 	}
 }
 

@@ -1,0 +1,74 @@
+package procpool
+
+import (
+	"errors"
+	"os"
+	"os/exec"
+	"testing"
+	"time"
+)
+
+// TestHelloDeadlineKillsSilentPeer is the handshake-hardening
+// regression: a process that starts but never speaks the protocol (here
+// a bare sleep standing in for a wedged or misconfigured binary) must
+// surface as a terminal ErrHelloTimeout exit within the hello deadline,
+// not hang the slot until the much longer silence watchdog.
+func TestHelloDeadlineKillsSilentPeer(t *testing.T) {
+	cmd := exec.Command("sleep", "60")
+	w, err := StartHello(cmd, 150*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Kill()
+	start := time.Now()
+	select {
+	case ev := <-w.Events():
+		if ev.Kind != EvExit {
+			t.Fatalf("event kind = %d, want EvExit", ev.Kind)
+		}
+		if !errors.Is(ev.Err, ErrHelloTimeout) {
+			t.Fatalf("exit err = %v, want ErrHelloTimeout", ev.Err)
+		}
+		// Generous bound: the point is "milliseconds, not the 10s
+		// silence default".
+		if since := time.Since(start); since > 5*time.Second {
+			t.Fatalf("hello timeout took %s", since)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("silent peer never surfaced as an exit event")
+	}
+}
+
+// TestHelloDeadlineSparesHealthyWorker: a worker that completes the
+// handshake in time must not be bitten by the disarmed deadline later,
+// even when a task outlives the hello timeout.
+func TestHelloDeadlineSparesHealthyWorker(t *testing.T) {
+	self := startHelloTestWorker(t, 500*time.Millisecond)
+	defer self.Close()
+	awaitEvent(t, self, EvHello)
+	// Wait out several hello windows, then dispatch: the reply must
+	// still arrive (the deadline was cleared after the first frame).
+	time.Sleep(1200 * time.Millisecond)
+	if err := self.Send(testTask(7)); err != nil {
+		t.Fatal(err)
+	}
+	ev := awaitEvent(t, self, EvReply)
+	if ev.Reply.Index != 7 {
+		t.Fatalf("reply index = %d", ev.Reply.Index)
+	}
+}
+
+func startHelloTestWorker(t *testing.T, helloTimeout time.Duration) *Worker {
+	t.Helper()
+	self, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(self)
+	cmd.Stderr = os.Stderr
+	w, err := StartHello(cmd, helloTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}

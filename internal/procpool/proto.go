@@ -11,13 +11,30 @@ import (
 
 // ProtocolVersion is bumped whenever the message schema changes
 // incompatibly; the supervisor rejects a worker whose Hello disagrees.
-const ProtocolVersion = 1
+// v2 added the TCP handshake fields (Fingerprint, Reject) for
+// internal/netpool's multi-host transport.
+const ProtocolVersion = 2
 
-// Hello is the worker's first frame: liveness proof plus version
-// handshake, sent before any task is accepted.
+// Hello is the handshake frame. On a stdin/stdout pipe only the worker
+// sends one (version + liveness proof, before any task is accepted).
+// Over TCP (internal/netpool) both sides speak: the coordinator's Hello
+// opens the connection and carries the run's config fingerprint, and
+// the worker's answer either echoes the accepted fingerprint or carries
+// a Reject reason and closes — version skew and config skew fail the
+// connection at the handshake, not mid-run.
 type Hello struct {
 	Version int
 	PID     int
+	// Fingerprint is the coordinator run's config fingerprint (the same
+	// string that prefixes window dedup-cache keys). A listening worker
+	// started with a fingerprint pin rejects a coordinator whose
+	// fingerprint differs; the worker's reply echoes the fingerprint it
+	// accepted. Empty on pipe workers.
+	Fingerprint string
+	// Reject is the worker's reason for refusing the handshake
+	// (version skew, fingerprint pin mismatch). A non-empty Reject is
+	// terminal: the worker closes the connection after sending it.
+	Reject string
 }
 
 // Ping is a bare liveness frame the worker emits periodically while a

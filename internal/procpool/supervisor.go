@@ -1,6 +1,7 @@
 package procpool
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -8,6 +9,15 @@ import (
 	"sync"
 	"time"
 )
+
+// ErrHelloTimeout marks a worker that started but sent no Hello frame
+// within the handshake deadline: the process is alive (or was) but is
+// not speaking the protocol — a misconfigured binary, a wedged runtime
+// init, or a peer that connected and went silent. The worker is killed
+// and the error is delivered as the terminal EvExit, so the slot
+// surfaces a dead handshake immediately instead of waiting for the
+// (much longer) silence watchdog.
+var ErrHelloTimeout = errors.New("procpool: no hello within handshake deadline")
 
 // EventKind discriminates supervisor-side worker events.
 type EventKind int
@@ -47,6 +57,8 @@ type Worker struct {
 	done   chan struct{} // closed by Kill/Close: emit drops, reader unblocks
 	dead   chan struct{} // closed after the process is reaped
 
+	helloTimeout time.Duration // bound on the wait for the first (Hello) frame
+
 	killOnce  sync.Once
 	closeOnce sync.Once
 }
@@ -55,7 +67,16 @@ type Worker struct {
 // environment, stdin/stdout become the frame pipes (wire stderr
 // yourself for diagnostics), and a reader goroutine turns its output
 // into Events. The first event from a healthy worker is EvHello.
-func Start(cmd *exec.Cmd) (*Worker, error) {
+func Start(cmd *exec.Cmd) (*Worker, error) { return StartHello(cmd, 0) }
+
+// StartHello is Start with a deadline on the initial Hello exchange:
+// when the worker's first frame does not arrive within helloTimeout,
+// the process is killed and the terminal EvExit carries
+// ErrHelloTimeout. Zero disables the deadline (Start's behavior); the
+// deadline requires the stdout pipe to support read deadlines (it does
+// on Linux), and is silently skipped otherwise — the caller's silence
+// watchdog remains the backstop.
+func StartHello(cmd *exec.Cmd, helloTimeout time.Duration) (*Worker, error) {
 	if cmd.Env == nil {
 		cmd.Env = os.Environ()
 	}
@@ -72,11 +93,12 @@ func Start(cmd *exec.Cmd) (*Worker, error) {
 		return nil, fmt.Errorf("procpool: start worker: %w", err)
 	}
 	w := &Worker{
-		cmd:    cmd,
-		stdin:  stdin,
-		events: make(chan Event, 64),
-		done:   make(chan struct{}),
-		dead:   make(chan struct{}),
+		cmd:          cmd,
+		stdin:        stdin,
+		events:       make(chan Event, 64),
+		done:         make(chan struct{}),
+		dead:         make(chan struct{}),
+		helloTimeout: helloTimeout,
 	}
 	go w.read(stdout)
 	return w, nil
@@ -124,15 +146,42 @@ func (w *Worker) Close() {
 	})
 }
 
+// readDeadliner is the subset of os.File the hello deadline needs; the
+// stdout pipe exec.Cmd hands out satisfies it on platforms with
+// pollable pipes.
+type readDeadliner interface {
+	SetReadDeadline(t time.Time) error
+}
+
 // read decodes frames into events until the stream breaks, then reaps
 // the process and delivers the terminal EvExit.
 func (w *Worker) read(stdout io.Reader) {
+	// Arm the handshake deadline: the first frame (the worker's Hello)
+	// must land within helloTimeout. A peer that starts but never
+	// speaks surfaces as ErrHelloTimeout instead of hanging the reader.
+	helloArmed := false
+	if w.helloTimeout > 0 {
+		if d, ok := stdout.(readDeadliner); ok {
+			helloArmed = d.SetReadDeadline(time.Now().Add(w.helloTimeout)) == nil
+		}
+	}
 	var exitErr error
 	for {
 		payload, err := ReadFrame(stdout)
 		if err != nil {
+			if helloArmed && errors.Is(err, os.ErrDeadlineExceeded) {
+				err = fmt.Errorf("%w (%s)", ErrHelloTimeout, w.helloTimeout)
+			}
 			exitErr = err // io.EOF for a clean exit
 			break
+		}
+		if helloArmed {
+			// Handshake complete (any first frame counts: a healthy
+			// worker's first frame is its Hello): disarm the deadline so
+			// long-running tasks read unbounded, as the silence watchdog
+			// above owns liveness from here.
+			helloArmed = false
+			stdout.(readDeadliner).SetReadDeadline(time.Time{})
 		}
 		m, err := DecodeMessage(payload)
 		if err != nil {

@@ -77,6 +77,30 @@ func Serve(r io.Reader, w io.Writer, run Runner) error {
 	if err := send(&Message{Hello: &Hello{Version: ProtocolVersion, PID: os.Getpid()}}); err != nil {
 		return err
 	}
+	return serveTasks(r, send, run)
+}
+
+// ServeTasks is the worker task loop without the opening Hello — for
+// transports whose handshake has already completed (internal/netpool's
+// TCP sessions, where both sides exchanged Hello frames before the
+// first task). Semantics otherwise match Serve.
+func ServeTasks(r io.Reader, w io.Writer, run Runner) error {
+	var mu sync.Mutex
+	send := func(m *Message) error {
+		payload, err := EncodeMessage(m)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		return WriteFrame(w, payload)
+	}
+	return serveTasks(r, send, run)
+}
+
+// serveTasks reads tasks one at a time, runs each through the Runner
+// while pinging, and sends the reply through send.
+func serveTasks(r io.Reader, send func(*Message) error, run Runner) error {
 	for {
 		payload, err := ReadFrame(r)
 		if err == io.EOF {

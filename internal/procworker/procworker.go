@@ -4,26 +4,32 @@
 // own package (rather than living in flow) because engine construction
 // imports the flow — procpool stays a leaf, the flow stays below the
 // engine registry, and every binary that wants to be its own worker
-// (cmd/cfaopc, cmd/tileworker) just calls Serve.
+// (cmd/cfaopc, cmd/tileworker) just calls Serve or ServeIfWorker.
 package procworker
 
 import (
 	"context"
 	"io"
+	"net"
+	"os"
+	"time"
 
 	"cfaopc/internal/engine"
 	"cfaopc/internal/flow"
+	"cfaopc/internal/netpool"
 	"cfaopc/internal/procpool"
 )
 
-// Serve runs the tile-worker loop on r/w until the supervisor closes
-// the task stream. Each task's optimizer chain is rebuilt from its
-// bundle's engine metadata, and the window simulator is cached across
-// tasks (every window in a run shares one imaging condition, so a
-// healthy worker pays kernel setup once).
-func Serve(r io.Reader, w io.Writer) error {
+// Runner builds the engine-backed task executor one worker session
+// uses: each task's optimizer chain is rebuilt from its bundle's engine
+// metadata, and the window simulator is cached across tasks (every
+// window in a run shares one imaging condition, so a healthy session
+// pays kernel setup once). Each call returns an independent executor —
+// sessions never share the simulator cache, so concurrent TCP sessions
+// stay race-free.
+func Runner() procpool.Runner {
 	var cache flow.SimCache
-	return procpool.Serve(r, w, func(ctx context.Context, t *procpool.Task, sink procpool.Sink) procpool.Reply {
+	return func(ctx context.Context, t *procpool.Task, sink procpool.Sink) procpool.Reply {
 		b := &t.Bundle
 		reply := procpool.Reply{Index: b.Tile.Index}
 		if err := b.ValidateTask(); err != nil {
@@ -41,5 +47,34 @@ func Serve(r io.Reader, w io.Writer) error {
 			return reply
 		}
 		return flow.ServeTask(ctx, sim, t, primary, fallback, sink)
-	})
+	}
+}
+
+// Serve runs the pipe-transport worker loop on r/w until the
+// supervisor closes the task stream.
+func Serve(r io.Reader, w io.Writer) error {
+	return procpool.Serve(r, w, Runner())
+}
+
+// Listen serves the same worker loop over TCP: every coordinator
+// connection is handshaken (protocol version + optional config
+// fingerprint pin, under the handshake deadline) and then served its
+// own task session. It blocks until the listener closes.
+func Listen(ln net.Listener, pin string, handshake time.Duration) error {
+	srv := &netpool.Server{Pin: pin, Handshake: handshake, Runner: Runner}
+	return srv.Serve(ln)
+}
+
+// ServeIfWorker is the re-exec branch every worker-capable binary runs
+// first: when the process was spawned as a pipe tile worker
+// (procpool.InWorker), it serves frames on stdin/stdout and exits.
+// Returns without side effects otherwise.
+func ServeIfWorker() {
+	if !procpool.InWorker() {
+		return
+	}
+	if err := Serve(os.Stdin, os.Stdout); err != nil {
+		os.Exit(1)
+	}
+	os.Exit(0)
 }
