@@ -65,6 +65,7 @@ import (
 	"cfaopc/internal/optics"
 	"cfaopc/internal/procpool"
 	"cfaopc/internal/procworker"
+	"cfaopc/internal/server"
 	"cfaopc/internal/wcache"
 )
 
@@ -118,6 +119,8 @@ func main() {
 		maskOut     = flag.String("mask-out", "", "tiled flow: stream the stitched mask to this PGM file in row bands (works with or without -stream)")
 		compact     = flag.Bool("compact", false, "remove shots that are redundant for the final union (print-identical)")
 		outDir      = flag.String("out", "out", "output directory")
+		jobFile     = flag.String("job", "", "run a cfaopcd JSON job spec through the service engine ('-' = stdin); writes mask.pgm + shots.csv under -out")
+		layoutRoot  = flag.String("layout-root", ".", "directory -job specs resolve layout refs under")
 	)
 	flag.Parse()
 
@@ -199,6 +202,17 @@ func main() {
 		cancel()
 		signal.Reset(os.Interrupt, syscall.SIGTERM)
 	}()
+
+	if *jobFile != "" {
+		// Service parity mode: the spec runs through the same
+		// server.RunSpec path the cfaopcd daemon uses, so the mask and
+		// shot bytes here are the reference a daemon run must match.
+		if *caseID != 0 || *layoutPath != "" {
+			log.Fatal("-job carries its own target; drop -case / -layout")
+		}
+		runJobSpec(ctx, *jobFile, *layoutRoot, *outDir, *ckptPath, drainCh)
+		return
+	}
 
 	var l *layout.Layout
 	switch {
@@ -524,6 +538,54 @@ func main() {
 		}
 	}
 	fmt.Printf("wrote %s and renders under %s/\n", shotPath, *outDir)
+}
+
+// runJobSpec executes one cfaopcd job spec via the shared service
+// engine and writes the service artifacts (mask.pgm, shots.csv) under
+// outDir. The drain channel gives -job runs the same two-stage
+// shutdown as flag-driven tiled runs.
+func runJobSpec(ctx context.Context, jobFile, layoutRoot, outDir, ckptPath string, drainCh <-chan struct{}) {
+	var in *os.File
+	if jobFile == "-" {
+		in = os.Stdin
+	} else {
+		var err error
+		if in, err = os.Open(jobFile); err != nil {
+			log.Fatal(err)
+		}
+		defer in.Close()
+	}
+	spec, err := server.ParseSpec(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	l, err := spec.ResolveLayout(layoutRoot)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	res, err := server.RunSpec(ctx, l, spec, server.RunOpts{
+		Checkpoint: ckptPath,
+		MaskPath:   filepath.Join(outDir, "mask.pgm"),
+		ShotsPath:  filepath.Join(outDir, "shots.csv"),
+		Drain:      drainCh,
+	})
+	if errors.Is(err, flow.ErrDrained) {
+		fmt.Printf("drained: %d of %d tiles completed and checkpointed; no output written\n",
+			res.Completed, res.Tiles)
+		if ckptPath != "" {
+			fmt.Printf("resume: re-run with the same spec and -checkpoint %s\n", ckptPath)
+		}
+		os.Exit(3)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s / %s: %d windows, shots %d; wrote %s and %s\n",
+		l.Name, spec.Method, res.Tiles, len(res.Shots),
+		filepath.Join(outDir, "mask.pgm"), filepath.Join(outDir, "shots.csv"))
 }
 
 // pgmBandWriter streams the stitched mask to disk as a binary PGM (P5),

@@ -1,0 +1,94 @@
+// Command cfaopcd serves the tiled OPC flow as a long-running daemon:
+// clients POST JSON job specs, watch per-tile progress over SSE, and
+// download the mask (streamed in row bands) and shot list.
+//
+//	cfaopcd -listen :8686 -data /var/lib/cfaopcd -layout-root /layouts
+//
+// Jobs queue on a bounded scheduler with priority ordering and
+// per-tenant fairness; -max-active bounds how many run at once.
+//
+// Every job persists through two journals — the daemon's job-state log
+// and the flow's tile checkpoint — so a daemon killed mid-run (even
+// SIGKILL) restarts with every unfinished job requeued, resumed from
+// its checkpoint, and finishing with byte-identical output; SSE
+// clients reconnect with Last-Event-ID and replay exactly the events
+// they missed.
+//
+// The listener's actual address is written to <data>/addr once the
+// daemon is serving, so scripts using -listen 127.0.0.1:0 can find it.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"cfaopc/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cfaopcd: ")
+
+	var (
+		listen     = flag.String("listen", "127.0.0.1:8686", "HTTP listen address (port 0 picks one; see <data>/addr)")
+		dataDir    = flag.String("data", "", "state directory: job journals, checkpoints, masks (required)")
+		layoutRoot = flag.String("layout-root", ".", "directory job specs resolve layout refs under")
+		maxActive  = flag.Int("max-active", 1, "jobs running concurrently")
+		queueCap   = flag.Int("queue-cap", 64, "queued-job cap; beyond it submissions get 429")
+	)
+	flag.Parse()
+	if *dataDir == "" {
+		log.Fatal("-data <dir> is required")
+	}
+
+	m, err := server.NewManager(server.ManagerConfig{
+		DataDir:    *dataDir,
+		LayoutRoot: *layoutRoot,
+		MaxActive:  *maxActive,
+		QueueCap:   *queueCap,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	m.Start()
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Publish the bound address last-thing-before-serving so a watcher
+	// that sees the file knows the API is up.
+	addrPath := filepath.Join(*dataDir, "addr")
+	if err := os.WriteFile(addrPath, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{Handler: server.NewHandler(m)}
+
+	stopped := make(chan struct{})
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		defer close(stopped)
+		<-sigCh
+		log.Print("signal: shutting down — running jobs checkpoint and resume on the next start")
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+		m.Stop()
+	}()
+
+	log.Printf("serving on %s (data %s)", ln.Addr(), *dataDir)
+	if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	<-stopped
+}

@@ -1,0 +1,38 @@
+package checkpoint
+
+import (
+	"errors"
+	"fmt"
+	"os"
+)
+
+// Read replays the journal at path without taking the append handle:
+// the file is opened read-only, never truncated, and never locked, so
+// an observer (an SSE reconnect replaying a finished job's event log, a
+// daemon scanning job state it does not own yet) can read a journal
+// that another handle is still appending to. The caller's header is
+// verified like Open's; valid payloads are returned in append order.
+//
+// Torn tails are tolerated exactly as in Open — a record cut short by a
+// crash (or by racing an in-flight append) simply ends the replay — but
+// unlike Open the tail is left in place: repairing the file is the
+// appender's job. Mid-file corruption is still an error, and a journal
+// that never got its header (the creator died at birth) reads as empty.
+func Read(path string, header []byte) ([][]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	gotHeader, payloads, _, err := replay(f)
+	if errors.Is(err, errNoHeader) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	if !bytesEqual(gotHeader, header) {
+		return nil, fmt.Errorf("%w (path %s)", ErrHeaderMismatch, path)
+	}
+	return payloads, nil
+}

@@ -1,0 +1,102 @@
+package checkpoint
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestReadReplaysWithoutDisturbing(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	hdr := []byte("read-h")
+	j, _ := open(t, path, hdr)
+	want := [][]byte{[]byte("a"), []byte("bb"), []byte("ccc")}
+	for _, p := range want {
+		if err := j.Append(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Read while the append handle is still open: the observer contract.
+	recs, err := Read(path, hdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != len(want) {
+		t.Fatalf("read %d records, want %d", len(recs), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(recs[i], want[i]) {
+			t.Fatalf("record %d = %q, want %q", i, recs[i], want[i])
+		}
+	}
+	// The appender must still work after an interleaved Read.
+	if err := j.Append([]byte("dddd")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if recs, err = Read(path, hdr); err != nil || len(recs) != 4 {
+		t.Fatalf("after close: %d records, err %v", len(recs), err)
+	}
+}
+
+func TestReadHeaderMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	j, _ := open(t, path, []byte("fp-A"))
+	j.Append([]byte("x"))
+	j.Close()
+	if _, err := Read(path, []byte("fp-B")); !errors.Is(err, ErrHeaderMismatch) {
+		t.Fatalf("err = %v, want ErrHeaderMismatch", err)
+	}
+}
+
+func TestReadTornTailLeftInPlace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	hdr := []byte("h")
+	j, _ := open(t, path, hdr)
+	j.Append([]byte("committed"))
+	j.Append([]byte("doomed-record"))
+	j.Close()
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear the final record: Read must drop it but NOT shrink the file —
+	// repair belongs to the appender (Open), not the observer.
+	if err := os.Truncate(path, st.Size()-4); err != nil {
+		t.Fatal(err)
+	}
+	torn, _ := os.Stat(path)
+	recs, err := Read(path, hdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || string(recs[0]) != "committed" {
+		t.Fatalf("records = %q, want [committed]", recs)
+	}
+	after, _ := os.Stat(path)
+	if after.Size() != torn.Size() {
+		t.Fatalf("Read changed the file size: %d -> %d", torn.Size(), after.Size())
+	}
+}
+
+func TestReadHeaderlessJournalIsEmpty(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	// Magic only — the creator died before the header record landed.
+	if err := os.WriteFile(path, []byte("CFCKPT1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := Read(path, []byte("h"))
+	if err != nil || len(recs) != 0 {
+		t.Fatalf("recs = %v, err = %v; want empty, nil", recs, err)
+	}
+}
+
+func TestReadMissingFile(t *testing.T) {
+	if _, err := Read(filepath.Join(t.TempDir(), "absent"), []byte("h")); err == nil {
+		t.Fatal("missing file read as success")
+	}
+}

@@ -307,6 +307,15 @@ type Config struct {
 	// stays on the context.
 	Drain <-chan struct{}
 
+	// Events, when non-nil, receives the run's live progress stream:
+	// one EventBeat per optimizer heartbeat (forwarded across the
+	// process and network boundaries in proc/remote mode) and exactly
+	// one EventTile per completed tile, journal-replayed tiles
+	// included. Events are observability only — they never alter the
+	// result, and the run does not wait on the sink. See EventSink for
+	// the concurrency contract the callback must honor.
+	Events EventSink
+
 	// QuarantineMaxBundles / QuarantineMaxBytes bound the quarantine
 	// directory: after each bundle write the oldest .qrb+.json pairs are
 	// pruned until both budgets hold (zero = unlimited on that axis).
@@ -639,6 +648,9 @@ type runEnv struct {
 	// addition to the per-attempt stall watchdog — a worker forwards
 	// them to its supervisor as liveness frames.
 	onBeat func(index, iter int, loss float64)
+	// events is Config.Events: the run's progress subscriber (nil when
+	// nobody is listening).
+	events EventSink
 	// dispatch is published on TileInfo (always 0 in-process; a
 	// worker's redispatch counter otherwise).
 	dispatch int
@@ -1241,6 +1253,16 @@ func RunContext(ctx context.Context, l *layout.Layout, cfg Config) (*Result, err
 		fp:        fingerprint(l, cfg),
 		keyPrefix: configFingerprint(cfg, dx),
 		errCh:     make(chan error, 1),
+		events:    cfg.Events,
+	}
+	if env.events != nil {
+		// Heartbeats reach the sink through the same hook a worker
+		// supervisor uses, so in-process attempts and forwarded worker
+		// beats look identical downstream.
+		sink := env.events
+		env.onBeat = func(index, iter int, loss float64) {
+			sink(Event{Kind: EventBeat, Tile: index, Iter: iter, Loss: loss})
+		}
 	}
 
 	// Streaming path: no full-grid raster is ever allocated. Workers
@@ -1298,6 +1320,10 @@ func RunContext(ctx context.Context, l *layout.Layout, cfg Config) (*Result, err
 				if !done[idx] {
 					done[idx] = true
 					resumed++
+					// Replayed tiles complete (again) right here, before
+					// any worker starts — subscribers see the full tile
+					// picture on a resumed run, marked Resumed.
+					env.emitTile(idx, rec.Tile.Stat)
 				}
 			case rec.Partial != nil:
 				idx := rec.Partial.Index
@@ -1404,6 +1430,7 @@ func RunContext(ctx context.Context, l *layout.Layout, cfg Config) (*Result, err
 	complete := func(j tileJob, out tileOut) {
 		outs[j.index] = out
 		completed.Add(1)
+		env.emitTile(j.index, out.stat)
 		if asm != nil && ctx.Err() == nil {
 			r0, r1 := plan.rowSpan(j)
 			asm.tileDone(r0, r1, out.shots)

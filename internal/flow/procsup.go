@@ -259,6 +259,13 @@ func (s *procSlot) await(ctx context.Context, w wlink, j tileJob) (*procpool.Rep
 						})
 					}
 				}
+			case procpool.EvBeat:
+				// Forwarded optimizer heartbeat: liveness (the timer reset
+				// above), and — when someone subscribed — progress, so the
+				// event stream looks the same in every dispatch mode.
+				if env.onBeat != nil && ev.Beat.Index == j.index {
+					env.onBeat(ev.Beat.Index, ev.Beat.Iter, ev.Beat.Loss)
+				}
 			case procpool.EvReply:
 				if ev.Reply.Index != j.index {
 					// Protocol confusion (a stale reply for some other
@@ -275,7 +282,7 @@ func (s *procSlot) await(ctx context.Context, w wlink, j tileJob) (*procpool.Rep
 				}
 				return ev.Reply, true
 			}
-			// EvHello / EvPing / EvBeat: liveness only.
+			// EvHello / EvPing: liveness only.
 		}
 	}
 }

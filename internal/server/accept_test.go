@@ -1,0 +1,345 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// The acceptance tests run the daemon as a real subprocess so it can
+// be SIGKILLed: the test binary re-executes itself with daemonEnv set
+// and TestMain branches into a serving loop instead of running tests.
+const (
+	daemonEnv     = "CFAOPCD_TEST_DAEMON"
+	daemonDataEnv = "CFAOPCD_TEST_DATA"
+	daemonRootEnv = "CFAOPCD_TEST_ROOT"
+)
+
+func TestMain(m *testing.M) {
+	if os.Getenv(daemonEnv) == "1" {
+		runTestDaemon()
+	}
+	os.Exit(m.Run())
+}
+
+// runTestDaemon is the in-test twin of cmd/cfaopcd: manager, handler,
+// addr file. It never returns; the parent SIGKILLs it.
+func runTestDaemon() {
+	dataDir := os.Getenv(daemonDataEnv)
+	mgr, err := NewManager(ManagerConfig{
+		DataDir:    dataDir,
+		LayoutRoot: os.Getenv(daemonRootEnv),
+		MaxActive:  1,
+		QueueCap:   16,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	mgr.Start()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Write-then-rename so the parent never reads a half-written addr.
+	tmp := filepath.Join(dataDir, "addr.tmp")
+	if err := os.WriteFile(tmp, []byte("http://"+ln.Addr().String()), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dataDir, "addr")); err != nil {
+		log.Fatal(err)
+	}
+	log.Fatal(http.Serve(ln, NewHandler(mgr)))
+}
+
+// daemon is a handle on one daemon subprocess life.
+type daemon struct {
+	cmd *exec.Cmd
+	url string
+}
+
+func startDaemon(t *testing.T, dataDir, root string) *daemon {
+	t.Helper()
+	os.Remove(filepath.Join(dataDir, "addr"))
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(),
+		daemonEnv+"=1", daemonDataEnv+"="+dataDir, daemonRootEnv+"="+root)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	d := &daemon{cmd: cmd}
+	t.Cleanup(func() { d.kill() })
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if b, err := os.ReadFile(filepath.Join(dataDir, "addr")); err == nil {
+			d.url = strings.TrimSpace(string(b))
+			return d
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatal("daemon never published its address")
+	return nil
+}
+
+// kill SIGKILLs the daemon — no shutdown hooks, no flushing beyond
+// what the journals already synced. Reaping the process guarantees the
+// next life sees whatever the kernel persisted.
+func (d *daemon) kill() {
+	if d.cmd.Process != nil {
+		d.cmd.Process.Kill()
+		d.cmd.Wait()
+	}
+}
+
+// sseStream is an incrementally-read SSE connection.
+type sseStream struct {
+	resp *http.Response
+	sc   *bufio.Scanner
+}
+
+func openStream(t *testing.T, base, id string, lastEventID int64) *sseStream {
+	t.Helper()
+	req, err := http.NewRequest("GET", base+"/jobs/"+id+"/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lastEventID > 0 {
+		req.Header.Set("Last-Event-ID", fmt.Sprint(lastEventID))
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		t.Fatalf("GET events: %s", resp.Status)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	t.Cleanup(func() { resp.Body.Close() })
+	return &sseStream{resp: resp, sc: sc}
+}
+
+// next blocks for the next event; ok=false means the stream ended.
+func (s *sseStream) next() (JobEvent, bool) {
+	for s.sc.Scan() {
+		line := s.sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var ev JobEvent
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+			return JobEvent{}, false
+		}
+		return ev, true
+	}
+	return JobEvent{}, false
+}
+
+func (s *sseStream) close() { s.resp.Body.Close() }
+
+// buildCLI compiles the cfaopc binary once per test run; its -job mode
+// is the reference implementation daemon output must match byte for
+// byte.
+var (
+	cliOnce sync.Once
+	cliPath string
+	cliErr  error
+)
+
+func buildCLI(t *testing.T) string {
+	t.Helper()
+	cliOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "cfaopc-cli")
+		if err != nil {
+			cliErr = err
+			return
+		}
+		cliPath = filepath.Join(dir, "cfaopc")
+		cmd := exec.Command("go", "build", "-o", cliPath, "./cmd/cfaopc")
+		cmd.Dir = "../.." // module root, from internal/server
+		if out, err := cmd.CombinedOutput(); err != nil {
+			cliErr = fmt.Errorf("go build cfaopc: %v\n%s", err, out)
+		}
+	})
+	if cliErr != nil {
+		t.Fatal(cliErr)
+	}
+	return cliPath
+}
+
+// TestServiceAcceptance is the headline contract: two jobs over HTTP,
+// the daemon SIGKILLed while the first is mid-run, a restart — and
+// both jobs finish with SSE streams that resume seq-exactly and final
+// artifacts byte-identical to direct cfaopc -job CLI runs.
+func TestServiceAcceptance(t *testing.T) {
+	serviceScenario(t, "running")
+}
+
+// TestServiceMatrix is the CI kill-phase matrix (SVC_KILL=queued kills
+// the daemon before the first tile lands, exercising recovery of jobs
+// that never started).
+func TestServiceMatrix(t *testing.T) {
+	phase := os.Getenv("SVC_KILL")
+	if phase == "" {
+		t.Skip("set SVC_KILL=queued|running to run the service kill matrix")
+	}
+	serviceScenario(t, phase)
+}
+
+func serviceScenario(t *testing.T, killPhase string) {
+	root := testLayoutRoot(t)
+	dataDir := filepath.Join(t.TempDir(), "data")
+	if err := os.MkdirAll(dataDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	// Job 1 is big enough (16 windows) that a mid-run kill interrupts
+	// it; job 2 sits queued behind it (max-active is 1).
+	spec1 := `{"layout":"t.glp","grid":256,"tile_core":64,"iters":3,"kopt":3,"tenant":"alice"}`
+	spec2 := `{"layout":"t.glp","grid":128,"tile_core":64,"method":"circlerule","tenant":"bob"}`
+
+	d1 := startDaemon(t, dataDir, root)
+	st1, resp := postJob(t, d1.url, spec1)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("submit job1: %s", resp.Status)
+	}
+	st2, resp := postJob(t, d1.url, spec2)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("submit job2: %s", resp.Status)
+	}
+
+	// Watch job1 until the kill point, remembering the last seq this
+	// client saw — the daemon must honor it exactly across the crash.
+	var lastSeq int64
+	stream := openStream(t, d1.url, st1.ID, 0)
+	tilesBeforeKill := 0
+	tilesSeen := map[int]bool{}
+	for {
+		ev, ok := stream.next()
+		if !ok {
+			t.Fatal("job1 stream ended before the kill point")
+		}
+		lastSeq = ev.Seq
+		if ev.Kind == "tile" {
+			tilesBeforeKill++
+			tilesSeen[ev.Tile] = true
+		}
+		if killPhase == "queued" && ev.Kind == "state" && ev.State == "queued" {
+			break // kill while everything still waits
+		}
+		if killPhase == "running" && tilesBeforeKill >= 2 {
+			break // kill mid-run with checkpointed tiles behind us
+		}
+	}
+	d1.kill()
+	stream.close()
+
+	// Restart on the same state directory. Both jobs must be back —
+	// job1 resuming from its checkpoint, job2 still queued — and run
+	// to completion.
+	d2 := startDaemon(t, dataDir, root)
+	resumed := openStream(t, d2.url, st1.ID, lastSeq)
+	first := true
+	resumedTiles, freshTiles := 0, 0
+	for {
+		ev, ok := resumed.next()
+		if !ok {
+			t.Fatal("job1 stream ended without a terminal state after restart")
+		}
+		if first {
+			if ev.Seq != lastSeq+1 {
+				t.Fatalf("reconnect replay starts at seq %d, want %d", ev.Seq, lastSeq+1)
+			}
+			first = false
+		}
+		if ev.Kind == "tile" {
+			if ev.Resumed {
+				resumedTiles++
+			} else {
+				freshTiles++
+			}
+			tilesSeen[ev.Tile] = true
+		}
+		if ev.Kind == "state" && JobState(ev.State).terminal() {
+			if ev.State != string(JobDone) {
+				t.Fatalf("job1 finished %s (%s)", ev.State, ev.Error)
+			}
+			break
+		}
+	}
+	// Across both stream connections every tile index must have been
+	// announced exactly once each life it completed; the union over both
+	// lives is the whole 4x4 grid. (A count-based check would break in
+	// the benign race where job1 finishes before the kill lands.)
+	if len(tilesSeen) != 16 {
+		t.Fatalf("saw %d distinct tiles across both lives (%d resumed + %d fresh after restart), want 16",
+			len(tilesSeen), resumedTiles, freshTiles)
+	}
+	if killPhase == "running" && resumedTiles == 0 {
+		t.Fatal("a mid-run kill left no checkpointed tiles to resume")
+	}
+
+	waitState(t, d2.url, st2.ID, JobDone)
+
+	// Byte-for-byte parity with the direct CLI runs of the same specs.
+	cli := buildCLI(t)
+	for i, spec := range []string{spec1, spec2} {
+		id := []string{st1.ID, st2.ID}[i]
+		specPath := filepath.Join(t.TempDir(), "spec.json")
+		if err := os.WriteFile(specPath, []byte(spec), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		outDir := t.TempDir()
+		cmd := exec.Command(cli, "-job", specPath, "-layout-root", root, "-out", outDir)
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("cfaopc -job: %v\n%s", err, out)
+		}
+
+		daemonMask := httpGetBytes(t, d2.url+"/jobs/"+id+"/mask", http.StatusOK)
+		cliMask, err := os.ReadFile(filepath.Join(outDir, "mask.pgm"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(daemonMask) != string(cliMask) {
+			t.Fatalf("job %s: daemon mask (%d bytes) != CLI mask (%d bytes)", id, len(daemonMask), len(cliMask))
+		}
+		daemonShots := httpGetBytes(t, d2.url+"/jobs/"+id+"/shots", http.StatusOK)
+		cliShots, err := os.ReadFile(filepath.Join(outDir, "shots.csv"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(daemonShots) != string(cliShots) {
+			t.Fatalf("job %s: daemon shots != CLI shots:\n%.200s\nvs\n%.200s", id, daemonShots, cliShots)
+		}
+	}
+
+	// A third daemon life finds only terminal jobs and full histories.
+	d2.kill()
+	d3 := startDaemon(t, dataDir, root)
+	for _, id := range []string{st1.ID, st2.ID} {
+		st := getStatus(t, d3.url, id)
+		if st.State != JobDone {
+			t.Fatalf("job %s is %s after final restart, want done", id, st.State)
+		}
+		evs := streamEvents(t, d3.url, id, 0)
+		if len(evs) == 0 || evs[len(evs)-1].State != string(JobDone) {
+			t.Fatalf("job %s history truncated after final restart (%d events)", id, len(evs))
+		}
+		for i, ev := range evs {
+			if ev.Seq != int64(i+1) {
+				t.Fatalf("job %s: seq %d at position %d after restart", id, ev.Seq, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,258 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"time"
+)
+
+// sseBufCap bounds each SSE subscriber's live buffer. A client that
+// falls further behind than this loses its oldest undelivered events —
+// visible as a seq gap plus a stream comment — and can reconnect with
+// Last-Event-ID for an exact replay. The flow is never throttled by a
+// slow reader.
+const sseBufCap = 1024
+
+// NewHandler wires the service API around a Manager:
+//
+//	POST /jobs              submit a JobSpec      -> 201 JobStatus (400 bad spec, 429 queue full)
+//	GET  /jobs              list jobs             -> 200 []JobStatus
+//	GET  /jobs/{id}         job snapshot          -> 200 JobStatus
+//	POST /jobs/{id}/cancel  cancel queued/running -> 200 JobStatus
+//	GET  /jobs/{id}/events  SSE progress stream (Last-Event-ID or ?last= resumes)
+//	GET  /jobs/{id}/mask    the mask PGM, streamed in row bands as they land
+//	GET  /jobs/{id}/shots   the shot-list CSV (409 until done)
+//	GET  /healthz           liveness + queue depth
+func NewHandler(m *Manager) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
+		spec, err := ParseSpec(r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		st, err := m.Submit(spec)
+		switch {
+		case errors.Is(err, ErrQueueFull):
+			http.Error(w, err.Error(), http.StatusTooManyRequests)
+			return
+		case err != nil:
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		writeJSON(w, http.StatusCreated, st)
+	})
+	mux.HandleFunc("GET /jobs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, m.List())
+	})
+	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st, err := m.Status(r.PathValue("id"))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+	mux.HandleFunc("POST /jobs/{id}/cancel", func(w http.ResponseWriter, r *http.Request) {
+		st, err := m.Cancel(r.PathValue("id"))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+	mux.HandleFunc("GET /jobs/{id}/events", func(w http.ResponseWriter, r *http.Request) {
+		serveEvents(m, w, r)
+	})
+	mux.HandleFunc("GET /jobs/{id}/mask", func(w http.ResponseWriter, r *http.Request) {
+		serveMask(m, w, r)
+	})
+	mux.HandleFunc("GET /jobs/{id}/shots", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		st, err := m.Status(id)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		if st.State != JobDone {
+			http.Error(w, fmt.Sprintf("job %s is %s; shots exist once it is done", id, st.State), http.StatusConflict)
+			return
+		}
+		w.Header().Set("Content-Type", "text/csv")
+		http.ServeFile(w, r, m.ShotsPath(id))
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "queued": m.QueueDepth()})
+	})
+	return mux
+}
+
+// serveEvents streams a job's progress as SSE. The client resumes an
+// interrupted stream by sending the last seq it saw (the standard
+// Last-Event-ID header, or ?last= for hand-rolled clients); the reply
+// replays every event after it — exactly, because events are journaled
+// before they are visible — then continues live. The stream ends after
+// the job's terminal state event.
+func serveEvents(m *Manager, w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	since := int64(0)
+	if v := r.Header.Get("Last-Event-ID"); v != "" {
+		since, _ = strconv.ParseInt(v, 10, 64)
+	} else if v := r.URL.Query().Get("last"); v != "" {
+		since, _ = strconv.ParseInt(v, 10, 64)
+	}
+	sub, err := m.Subscribe(id, since, sseBufCap)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	defer m.Unsubscribe(id, sub)
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	rc := http.NewResponseController(w)
+	rc.Flush()
+
+	for {
+		evs, dropped := sub.drain()
+		if dropped > 0 {
+			fmt.Fprintf(w, ": %d events dropped; reconnect with Last-Event-ID for an exact replay\n\n", dropped)
+		}
+		terminal := false
+		for _, ev := range evs {
+			payload, err := json.Marshal(ev)
+			if err != nil {
+				return
+			}
+			fmt.Fprintf(w, "id: %d\ndata: %s\n\n", ev.Seq, payload)
+			if ev.Kind == "state" && JobState(ev.State).terminal() {
+				terminal = true
+			}
+		}
+		if len(evs) > 0 || dropped > 0 {
+			if err := rc.Flush(); err != nil {
+				return
+			}
+		}
+		if terminal {
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-sub.wait():
+		}
+	}
+}
+
+// serveMask streams the job's mask PGM. A finished job's file is
+// served whole; a queued or running job is followed live — bytes go
+// out as band events report rows durably flushed, so the client sees
+// each row band once, in order, while the optimization is still
+// running. A job that fails or is canceled ends the stream early with
+// fewer rows than the header promises, which is how a PGM reader
+// detects the truncation.
+func serveMask(m *Manager, w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	st, err := m.Status(id)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	if st.State == JobFailed || st.State == JobCanceled {
+		http.Error(w, fmt.Sprintf("job %s is %s; no complete mask", id, st.State), http.StatusConflict)
+		return
+	}
+	if st.State == JobDone {
+		w.Header().Set("Content-Type", "image/x-portable-graymap")
+		http.ServeFile(w, r, m.MaskPath(id))
+		return
+	}
+
+	// Follow mode. Only rows announced by band events observed on this
+	// subscription are served: bands are flushed to disk before they
+	// are announced and arrive strictly top-to-bottom, so "last
+	// announced row" is exactly "bytes safe to read". Starting from the
+	// live tail (not history) keeps a restarted job's stale band
+	// announcements from a previous daemon life out of the accounting.
+	sub, err := m.Subscribe(id, maxInt64(0, st.LastSeq), sseBufCap)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	defer m.Unsubscribe(id, sub)
+
+	w.Header().Set("Content-Type", "image/x-portable-graymap")
+	w.WriteHeader(http.StatusOK)
+	rc := http.NewResponseController(w)
+
+	headerLen := int64(len(fmt.Sprintf("P5\n%d %d\n255\n", st.Grid, st.Grid)))
+	rowBytes := int64(st.Grid)
+	var f *os.File
+	defer func() {
+		if f != nil {
+			f.Close()
+		}
+	}()
+	var served, limit int64
+	done := false
+	for {
+		evs, _ := sub.drain()
+		for _, ev := range evs {
+			switch {
+			case ev.Kind == "band":
+				limit = headerLen + int64(ev.Row+ev.Rows)*rowBytes
+			case ev.Kind == "state" && JobState(ev.State).terminal():
+				done = true
+				if ev.State == string(JobDone) {
+					limit = headerLen + rowBytes*int64(st.Grid)
+				}
+			}
+		}
+		if limit > served {
+			if f == nil {
+				if f, err = os.Open(m.MaskPath(id)); err != nil {
+					return // the run died before creating the file
+				}
+			}
+			if _, err := io.CopyN(w, f, limit-served); err != nil {
+				return
+			}
+			served = limit
+			if err := rc.Flush(); err != nil {
+				return
+			}
+		}
+		if done {
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-sub.wait():
+		case <-time.After(time.Second):
+			// Belt-and-braces wake-up so a stream never hangs on a
+			// missed doorbell.
+		}
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}
+
+func maxInt64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,463 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"cfaopc/internal/layout"
+)
+
+// testLayoutRoot writes the small two-rect layout the API tests
+// optimize and returns its directory.
+func testLayoutRoot(t *testing.T) string {
+	t.Helper()
+	root := t.TempDir()
+	l := &layout.Layout{
+		Name:   "svc",
+		TileNM: 1024,
+		Rects: []layout.Rect{
+			{X: 180, Y: 150, W: 72, H: 260},
+			{X: 640, Y: 600, W: 80, H: 240},
+		},
+	}
+	f, err := os.Create(filepath.Join(root, "t.glp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Write(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return root
+}
+
+// fastSpecJSON is a job small enough for API tests: 4 windows of
+// 128 px, two optimizer iterations each.
+const fastSpecJSON = `{"layout":"t.glp","grid":128,"tile_core":64,"iters":2,"kopt":3,"tile_workers":2}`
+
+func newTestService(t *testing.T, root string, maxActive, queueCap int, start bool) (*Manager, *httptest.Server) {
+	t.Helper()
+	m, err := NewManager(ManagerConfig{
+		DataDir:    filepath.Join(t.TempDir(), "data"),
+		LayoutRoot: root,
+		MaxActive:  maxActive,
+		QueueCap:   queueCap,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if start {
+		m.Start()
+	}
+	ts := httptest.NewServer(NewHandler(m))
+	t.Cleanup(func() {
+		ts.Close()
+		m.Stop()
+	})
+	return m, ts
+}
+
+func postJob(t *testing.T, base, specJSON string) (JobStatus, *http.Response) {
+	t.Helper()
+	resp, err := http.Post(base+"/jobs", "application/json", strings.NewReader(specJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st JobStatus
+	if resp.StatusCode == http.StatusCreated {
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return st, resp
+}
+
+func getStatus(t *testing.T, base, id string) JobStatus {
+	t.Helper()
+	resp, err := http.Get(base + "/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /jobs/%s: %s", id, resp.Status)
+	}
+	var st JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// readSSE consumes an SSE body until the job's terminal state event
+// (or EOF) and returns every received event in order.
+func readSSE(t *testing.T, body io.Reader) []JobEvent {
+	t.Helper()
+	var evs []JobEvent
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var ev JobEvent
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+			t.Fatalf("bad SSE data %q: %v", line, err)
+		}
+		evs = append(evs, ev)
+	}
+	return evs
+}
+
+func streamEvents(t *testing.T, base, id string, lastEventID int64) []JobEvent {
+	t.Helper()
+	req, err := http.NewRequest("GET", base+"/jobs/"+id+"/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lastEventID > 0 {
+		req.Header.Set("Last-Event-ID", fmt.Sprint(lastEventID))
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET events: %s", resp.Status)
+	}
+	return readSSE(t, resp.Body)
+}
+
+func TestHTTPSubmitValidation(t *testing.T) {
+	root := testLayoutRoot(t)
+	_, ts := newTestService(t, root, 1, 2, false)
+
+	cases := []struct {
+		name, body string
+		wantCode   int
+	}{
+		{"garbage", `{{{`, http.StatusBadRequest},
+		{"unknown field", `{"case":1,"bogus":true}`, http.StatusBadRequest},
+		{"traversal layout", `{"layout":"../../etc/passwd.glp"}`, http.StatusBadRequest},
+		{"missing layout file", `{"layout":"absent.glp"}`, http.StatusBadRequest},
+		{"bad geometry", `{"case":1,"grid":64,"tile_core":4,"tile_halo":4}`, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, resp := postJob(t, ts.URL, tc.body)
+			if resp.StatusCode != tc.wantCode {
+				t.Fatalf("status %d, want %d", resp.StatusCode, tc.wantCode)
+			}
+		})
+	}
+}
+
+func TestHTTPQueueFull(t *testing.T) {
+	root := testLayoutRoot(t)
+	// Executor never started: nothing drains, so the cap must hold.
+	_, ts := newTestService(t, root, 1, 2, false)
+	for i := 0; i < 2; i++ {
+		if _, resp := postJob(t, ts.URL, fastSpecJSON); resp.StatusCode != http.StatusCreated {
+			t.Fatalf("submit %d: %s", i, resp.Status)
+		}
+	}
+	_, resp := postJob(t, ts.URL, fastSpecJSON)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("third submit: %d, want 429", resp.StatusCode)
+	}
+	// A canceled job frees its slot.
+	httpPost(t, ts.URL+"/jobs/job-0000/cancel")
+	if _, resp := postJob(t, ts.URL, fastSpecJSON); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("submit after cancel: %s", resp.Status)
+	}
+}
+
+func httpPost(t *testing.T, url string) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp
+}
+
+func TestHTTPCancelWhileQueued(t *testing.T) {
+	root := testLayoutRoot(t)
+	_, ts := newTestService(t, root, 1, 4, false)
+	st, resp := postJob(t, ts.URL, fastSpecJSON)
+	if resp.StatusCode != http.StatusCreated || st.State != JobQueued {
+		t.Fatalf("submit: %s, state %s", resp.Status, st.State)
+	}
+	if resp := httpPost(t, ts.URL+"/jobs/"+st.ID+"/cancel"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel: %s", resp.Status)
+	}
+	got := getStatus(t, ts.URL, st.ID)
+	if got.State != JobCanceled {
+		t.Fatalf("state %s, want canceled", got.State)
+	}
+	// Cancel is idempotent, and the event stream terminates cleanly.
+	if resp := httpPost(t, ts.URL+"/jobs/"+st.ID+"/cancel"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("second cancel: %s", resp.Status)
+	}
+	evs := streamEvents(t, ts.URL, st.ID, 0)
+	if len(evs) != 2 || evs[0].State != "queued" || evs[1].State != "canceled" {
+		t.Fatalf("event stream %+v, want queued then canceled", evs)
+	}
+	// Cancel of an unknown job 404s.
+	if resp := httpPost(t, ts.URL+"/jobs/nope/cancel"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("cancel unknown: %s", resp.Status)
+	}
+}
+
+// TestHTTPJobLifecycle runs one real job end to end over the API and
+// checks the stream's shape and the artifacts' integrity.
+func TestHTTPJobLifecycle(t *testing.T) {
+	root := testLayoutRoot(t)
+	_, ts := newTestService(t, root, 1, 4, true)
+	st, resp := postJob(t, ts.URL, fastSpecJSON)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("submit: %s", resp.Status)
+	}
+
+	// The SSE stream is the synchronization: it ends at the terminal
+	// state event.
+	evs := streamEvents(t, ts.URL, st.ID, 0)
+	if len(evs) == 0 {
+		t.Fatal("empty event stream")
+	}
+	if evs[0].Kind != "state" || evs[0].State != "queued" || evs[0].Seq != 1 {
+		t.Fatalf("first event %+v, want state=queued seq=1", evs[0])
+	}
+	last := evs[len(evs)-1]
+	if last.Kind != "state" || last.State != "done" {
+		t.Fatalf("last event %+v, want state=done", last)
+	}
+	var tiles, beats, bandRows int
+	sawRunning := false
+	for i, ev := range evs {
+		if ev.Seq != int64(i+1) {
+			t.Fatalf("seq %d at position %d: stream not contiguous", ev.Seq, i)
+		}
+		switch ev.Kind {
+		case "state":
+			if ev.State == "running" {
+				sawRunning = true
+			}
+		case "tile":
+			tiles++
+		case "beat":
+			beats++
+		case "band":
+			bandRows += ev.Rows
+		}
+	}
+	if !sawRunning {
+		t.Fatal("no running state event")
+	}
+	if tiles != 4 {
+		t.Fatalf("%d tile events, want 4", tiles)
+	}
+	if beats == 0 {
+		t.Fatal("no heartbeat events from the optimizer")
+	}
+	if bandRows != 128 {
+		t.Fatalf("band events covered %d rows, want 128", bandRows)
+	}
+
+	// Reconnect mid-history: replay must start exactly after the seq
+	// we claim to have seen.
+	cut := int64(len(evs) / 2)
+	tail := streamEvents(t, ts.URL, st.ID, cut)
+	if len(tail) == 0 || tail[0].Seq != cut+1 {
+		t.Fatalf("Last-Event-ID %d replay starts at %d, want %d", cut, tail[0].Seq, cut+1)
+	}
+	if int64(len(tail)) != int64(len(evs))-cut {
+		t.Fatalf("replay returned %d events, want %d", len(tail), int64(len(evs))-cut)
+	}
+
+	// Artifacts.
+	final := getStatus(t, ts.URL, st.ID)
+	if final.State != JobDone || final.Shots == 0 {
+		t.Fatalf("final status %+v", final)
+	}
+	mask := httpGetBytes(t, ts.URL+"/jobs/"+st.ID+"/mask", http.StatusOK)
+	wantHeader := fmt.Sprintf("P5\n%d %d\n255\n", 128, 128)
+	if !bytes.HasPrefix(mask, []byte(wantHeader)) || len(mask) != len(wantHeader)+128*128 {
+		t.Fatalf("mask: %d bytes, header %q", len(mask), mask[:min(16, len(mask))])
+	}
+	shots := httpGetBytes(t, ts.URL+"/jobs/"+st.ID+"/shots", http.StatusOK)
+	if !bytes.HasPrefix(shots, []byte("x_nm,y_nm,r_nm")) {
+		t.Fatalf("shots CSV starts %q", shots[:min(32, len(shots))])
+	}
+
+	// The list endpoint knows the job.
+	resp2, err := http.Get(ts.URL + "/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list []JobStatus
+	if err := json.NewDecoder(resp2.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if len(list) != 1 || list[0].ID != st.ID {
+		t.Fatalf("job list %+v", list)
+	}
+}
+
+func httpGetBytes(t *testing.T, url string, wantCode int) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantCode {
+		t.Fatalf("GET %s: %d, want %d", url, resp.StatusCode, wantCode)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestHTTPMaskFollowStream attaches to the mask endpoint while the job
+// is still queued and checks the followed bytes equal the finished
+// file: row bands go out live, but only after they are durable.
+func TestHTTPMaskFollowStream(t *testing.T) {
+	root := testLayoutRoot(t)
+	m, ts := newTestService(t, root, 1, 4, true)
+	st, resp := postJob(t, ts.URL, fastSpecJSON)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("submit: %s", resp.Status)
+	}
+	followed := httpGetBytes(t, ts.URL+"/jobs/"+st.ID+"/mask", http.StatusOK)
+	waitState(t, ts.URL, st.ID, JobDone)
+	direct, err := os.ReadFile(m.MaskPath(st.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(followed, direct) {
+		t.Fatalf("followed mask (%d bytes) != final file (%d bytes)", len(followed), len(direct))
+	}
+	// Shots of an unfinished job are a 409; this one is done.
+	httpGetBytes(t, ts.URL+"/jobs/"+st.ID+"/shots", http.StatusOK)
+}
+
+func waitState(t *testing.T, base, id string, want JobState) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(120 * time.Second)
+	for time.Now().Before(deadline) {
+		st := getStatus(t, base, id)
+		if st.State == want {
+			return st
+		}
+		if st.State.terminal() {
+			t.Fatalf("job %s reached %s (err %q), want %s", id, st.State, st.Error, want)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached %s", id, want)
+	return JobStatus{}
+}
+
+// TestManagerRestartResumesQueued closes a manager holding queued jobs
+// and reopens the same data directory: both jobs must come back
+// queued, run, and produce byte-identical artifacts to a direct
+// single-process RunSpec of the same specs.
+func TestManagerRestartResumesQueued(t *testing.T) {
+	root := testLayoutRoot(t)
+	dataDir := filepath.Join(t.TempDir(), "data")
+	m1, err := NewManager(ManagerConfig{DataDir: dataDir, LayoutRoot: root, QueueCap: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := ParseSpec(strings.NewReader(fastSpecJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st1, err := m1.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec2, _ := ParseSpec(strings.NewReader(fastSpecJSON))
+	spec2.Method = "circlerule"
+	spec2.Normalize()
+	st2, err := m1.Submit(spec2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1.Stop() // never started: jobs are still queued
+
+	m2, err := NewManager(ManagerConfig{DataDir: dataDir, LayoutRoot: root, QueueCap: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Stop()
+	for _, id := range []string{st1.ID, st2.ID} {
+		got, err := m2.Status(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.State != JobQueued {
+			t.Fatalf("job %s recovered as %s, want queued", id, got.State)
+		}
+	}
+	m2.Start()
+	ts := httptest.NewServer(NewHandler(m2))
+	defer ts.Close()
+	waitState(t, ts.URL, st1.ID, JobDone)
+	waitState(t, ts.URL, st2.ID, JobDone)
+
+	// Byte parity with a direct run of each spec.
+	for i, s := range []*JobSpec{spec, spec2} {
+		id := []string{st1.ID, st2.ID}[i]
+		dir := t.TempDir()
+		l, err := s.ResolveLayout(root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = RunSpec(context.Background(), l, s, RunOpts{
+			MaskPath:  filepath.Join(dir, "mask.pgm"),
+			ShotsPath: filepath.Join(dir, "shots.csv"),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		compareFiles(t, m2.MaskPath(id), filepath.Join(dir, "mask.pgm"))
+		compareFiles(t, m2.ShotsPath(id), filepath.Join(dir, "shots.csv"))
+	}
+}
+
+func compareFiles(t *testing.T, a, b string) {
+	t.Helper()
+	ab, err := os.ReadFile(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := os.ReadFile(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ab, bb) {
+		t.Fatalf("%s (%d bytes) differs from %s (%d bytes)", a, len(ab), b, len(bb))
+	}
+}

@@ -1,0 +1,479 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"cfaopc/internal/checkpoint"
+	"cfaopc/internal/flow"
+)
+
+// JobState is a job's lifecycle position. Terminal states (done,
+// failed, canceled) never change again — not even across restarts.
+type JobState string
+
+const (
+	JobQueued   JobState = "queued"
+	JobRunning  JobState = "running"
+	JobDone     JobState = "done"
+	JobFailed   JobState = "failed"
+	JobCanceled JobState = "canceled"
+)
+
+func (s JobState) terminal() bool {
+	return s == JobDone || s == JobFailed || s == JobCanceled
+}
+
+// jobsJournalHeader fingerprints the daemon's job-state journal.
+var jobsJournalHeader = []byte("cfaopcd-jobs-v1")
+
+// jobRecord is one job-state journal entry. Recovery merges records
+// last-wins per ID: the first record carries the spec, later ones move
+// the state machine. A job whose newest record is non-terminal was
+// alive when the daemon died and is requeued on restart.
+type jobRecord struct {
+	ID    string    `json:"id"`
+	State JobState  `json:"state"`
+	Spec  *JobSpec  `json:"spec,omitempty"` // on the first (queued) record only
+	Error string    `json:"error,omitempty"`
+	Shots int       `json:"shots,omitempty"` // on the done record
+	Time  time.Time `json:"time"`
+}
+
+// JobStatus is the externally visible snapshot of a job.
+type JobStatus struct {
+	ID       string   `json:"id"`
+	State    JobState `json:"state"`
+	Tenant   string   `json:"tenant"`
+	Priority int      `json:"priority"`
+	Grid     int      `json:"grid"` // simulation grid edge (mask dimensions)
+	Error    string   `json:"error,omitempty"`
+	Shots    int      `json:"shots,omitempty"`
+	LastSeq  int64    `json:"last_seq"` // newest published event seq
+}
+
+// job is the manager's in-memory record of one job. The manager lock
+// guards every field; the hub has its own lock for the event stream.
+type job struct {
+	id       string
+	spec     *JobSpec
+	state    JobState
+	errMsg   string
+	shots    int
+	hub      *hub
+	canceled bool // cancel requested (may still be dispatching)
+	stopRun  context.CancelFunc
+}
+
+// ManagerConfig configures a Manager. DataDir is required; it holds
+// jobs.log plus one directory per job (event journal, flow checkpoint,
+// mask, shots).
+type ManagerConfig struct {
+	DataDir    string
+	LayoutRoot string // root for spec layout refs (default ".")
+	MaxActive  int    // concurrent running jobs (default 1)
+	QueueCap   int    // max queued jobs (default 64)
+	Now        func() time.Time
+}
+
+// Manager owns the job table, the scheduler, and the executor pool. It
+// recovers existing state from DataDir at construction: terminal jobs
+// reload their event history read-only, and every queued or running
+// job is requeued in ID order, resuming from its flow checkpoint.
+type Manager struct {
+	mu         sync.Mutex
+	dataDir    string
+	layoutRoot string
+	maxActive  int
+	now        func() time.Time
+	jobs       map[string]*job
+	order      []string // creation order, for List
+	nextID     int
+	sched      *scheduler
+	journal    *checkpoint.Journal // jobs.log
+	ctx        context.Context
+	cancel     context.CancelFunc
+	wg         sync.WaitGroup
+	started    bool
+}
+
+// ErrNoJob is returned for operations on an unknown job ID.
+var ErrNoJob = errors.New("server: no such job")
+
+// NewManager opens (or creates) the data directory and rebuilds the
+// job table from the job-state journal.
+func NewManager(cfg ManagerConfig) (*Manager, error) {
+	if cfg.DataDir == "" {
+		return nil, fmt.Errorf("server: ManagerConfig.DataDir is required")
+	}
+	if cfg.LayoutRoot == "" {
+		cfg.LayoutRoot = "."
+	}
+	if cfg.MaxActive <= 0 {
+		cfg.MaxActive = 1
+	}
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = 64
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	if err := os.MkdirAll(filepath.Join(cfg.DataDir, "jobs"), 0o755); err != nil {
+		return nil, err
+	}
+	journal, payloads, err := checkpoint.Open(filepath.Join(cfg.DataDir, "jobs.log"), jobsJournalHeader)
+	if err != nil {
+		return nil, fmt.Errorf("server: job journal: %w", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &Manager{
+		dataDir:    cfg.DataDir,
+		layoutRoot: cfg.LayoutRoot,
+		maxActive:  cfg.MaxActive,
+		now:        cfg.Now,
+		jobs:       map[string]*job{},
+		sched:      newScheduler(cfg.QueueCap),
+		journal:    journal,
+		ctx:        ctx,
+		cancel:     cancel,
+	}
+	m.sched.now = cfg.Now
+	if err := m.recover(payloads); err != nil {
+		journal.Close()
+		cancel()
+		return nil, err
+	}
+	return m, nil
+}
+
+// recover merges the journal records last-wins, reloads event history,
+// and requeues every non-terminal job in ID order.
+func (m *Manager) recover(payloads [][]byte) error {
+	merged := map[string]*jobRecord{}
+	var ids []string
+	for i, p := range payloads {
+		var rec jobRecord
+		if err := json.Unmarshal(p, &rec); err != nil {
+			return fmt.Errorf("server: job journal record %d: %w", i, err)
+		}
+		if prev, ok := merged[rec.ID]; ok {
+			if rec.Spec == nil {
+				rec.Spec = prev.Spec
+			}
+			merged[rec.ID] = &rec
+		} else {
+			merged[rec.ID] = &rec
+			ids = append(ids, rec.ID)
+		}
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		rec := merged[id]
+		if rec.Spec == nil {
+			return fmt.Errorf("server: job %s has state records but no spec", id)
+		}
+		var n int
+		if _, err := fmt.Sscanf(id, "job-%d", &n); err == nil && n >= m.nextID {
+			m.nextID = n + 1
+		}
+		j := &job{id: id, spec: rec.Spec, state: rec.State, errMsg: rec.Error, shots: rec.Shots}
+		if rec.State.terminal() {
+			// Finished jobs need no new events: load the history without
+			// taking the journal's append handle.
+			evs, err := readHistory(m.eventPath(id), id, rec.Spec)
+			if err != nil {
+				return fmt.Errorf("server: job %s: %w", id, err)
+			}
+			j.hub = &hub{history: evs, subs: map[*subscriber]struct{}{}}
+		} else {
+			// The job was queued or mid-run when the daemon died: reopen
+			// its event journal so seq numbering continues, tell the
+			// stream it is queued again, and requeue it. The flow
+			// checkpoint makes the re-run byte-identical.
+			h, err := newHub(m.eventPath(id), id, rec.Spec)
+			if err != nil {
+				return fmt.Errorf("server: job %s: %w", id, err)
+			}
+			j.hub = h
+			j.state = JobQueued
+			m.appendRecord(jobRecord{ID: id, State: JobQueued, Time: m.now()})
+			h.publish(JobEvent{Kind: "state", State: string(JobQueued)})
+			if err := m.sched.enqueue(id, rec.Spec.Tenant, rec.Spec.Priority); err != nil {
+				return fmt.Errorf("server: requeue %s: %w", id, err)
+			}
+		}
+		m.jobs[id] = j
+		m.order = append(m.order, id)
+	}
+	return nil
+}
+
+// Start launches the executor pool. Jobs submitted before Start queue
+// up; nothing runs until it is called.
+func (m *Manager) Start() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.started {
+		return
+	}
+	m.started = true
+	for i := 0; i < m.maxActive; i++ {
+		m.wg.Add(1)
+		go m.executor()
+	}
+}
+
+// Stop halts the executor pool and waits for it. Running jobs are
+// interrupted without a terminal record — their journals still say
+// running, so a later Manager requeues and resumes them.
+func (m *Manager) Stop() {
+	m.cancel()
+	m.wg.Wait()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, j := range m.jobs {
+		j.hub.close()
+	}
+	if m.journal != nil {
+		m.journal.Close()
+		m.journal = nil
+	}
+}
+
+// Submit validates nothing — the spec must already be normalized and
+// valid (ParseSpec's contract) — resolves the layout to fail fast on a
+// missing or malformed file, persists the job, and queues it.
+func (m *Manager) Submit(spec *JobSpec) (JobStatus, error) {
+	if _, err := spec.ResolveLayout(m.layoutRoot); err != nil {
+		return JobStatus{}, fmt.Errorf("spec: layout: %w", err)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	id := fmt.Sprintf("job-%04d", m.nextID)
+	if err := m.sched.enqueue(id, spec.Tenant, spec.Priority); err != nil {
+		return JobStatus{}, err
+	}
+	if err := os.MkdirAll(m.jobDir(id), 0o755); err != nil {
+		m.sched.cancel(id)
+		return JobStatus{}, err
+	}
+	h, err := newHub(m.eventPath(id), id, spec)
+	if err != nil {
+		m.sched.cancel(id)
+		return JobStatus{}, err
+	}
+	m.nextID++
+	j := &job{id: id, spec: spec, state: JobQueued, hub: h}
+	m.jobs[id] = j
+	m.order = append(m.order, id)
+	m.appendRecord(jobRecord{ID: id, State: JobQueued, Spec: spec, Time: m.now()})
+	h.publish(JobEvent{Kind: "state", State: string(JobQueued)})
+	return m.statusLocked(j), nil
+}
+
+// Cancel stops a job: a queued job leaves the queue, a running job's
+// context is canceled (its completed tiles stay checkpointed). Cancel
+// of a terminal job is a harmless no-op.
+func (m *Manager) Cancel(id string) (JobStatus, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return JobStatus{}, ErrNoJob
+	}
+	if j.state.terminal() {
+		return m.statusLocked(j), nil
+	}
+	j.canceled = true
+	if j.state == JobQueued && m.sched.cancel(id) {
+		// Still queued: finish it here. A job the scheduler no longer
+		// holds is mid-dispatch; the executor sees the flag and
+		// finishes it instead.
+		m.finishLocked(j, JobCanceled, "", 0)
+	} else if j.stopRun != nil {
+		j.stopRun()
+	}
+	return m.statusLocked(j), nil
+}
+
+// Status returns a job's snapshot.
+func (m *Manager) Status(id string) (JobStatus, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return JobStatus{}, ErrNoJob
+	}
+	return m.statusLocked(j), nil
+}
+
+// List returns every job in creation order.
+func (m *Manager) List() []JobStatus {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]JobStatus, 0, len(m.order))
+	for _, id := range m.order {
+		out = append(out, m.statusLocked(m.jobs[id]))
+	}
+	return out
+}
+
+// Subscribe attaches a drop-oldest event consumer to a job's stream,
+// replaying everything after sinceSeq first. The caller must call
+// Unsubscribe when done.
+func (m *Manager) Subscribe(id string, sinceSeq int64, capacity int) (*subscriber, error) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return nil, ErrNoJob
+	}
+	return j.hub.subscribe(sinceSeq, capacity), nil
+}
+
+// Unsubscribe detaches a Subscribe consumer.
+func (m *Manager) Unsubscribe(id string, sub *subscriber) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
+	if ok {
+		j.hub.unsubscribe(sub)
+	}
+}
+
+// MaskPath and ShotsPath locate a job's output artifacts.
+func (m *Manager) MaskPath(id string) string  { return filepath.Join(m.jobDir(id), "mask.pgm") }
+func (m *Manager) ShotsPath(id string) string { return filepath.Join(m.jobDir(id), "shots.csv") }
+
+// QueueDepth reports the number of queued (not yet dispatched) jobs.
+func (m *Manager) QueueDepth() int { return m.sched.depth() }
+
+func (m *Manager) jobDir(id string) string    { return filepath.Join(m.dataDir, "jobs", id) }
+func (m *Manager) eventPath(id string) string { return filepath.Join(m.jobDir(id), "events.log") }
+
+// executor is one slot of the run pool: dequeue, run, repeat.
+func (m *Manager) executor() {
+	defer m.wg.Done()
+	for {
+		sj, err := m.sched.next(m.ctx)
+		if err != nil {
+			return
+		}
+		m.runJob(sj.id)
+	}
+}
+
+// runJob drives one dispatched job through RunSpec and records the
+// outcome. Daemon shutdown mid-run deliberately records nothing: the
+// journal still says running, which is exactly what makes the next
+// daemon requeue and resume it.
+func (m *Manager) runJob(id string) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	if !ok {
+		m.mu.Unlock()
+		return
+	}
+	if j.canceled {
+		m.finishLocked(j, JobCanceled, "", 0)
+		m.mu.Unlock()
+		return
+	}
+	ctx, stop := context.WithCancel(m.ctx)
+	j.state = JobRunning
+	j.stopRun = stop
+	m.appendRecord(jobRecord{ID: id, State: JobRunning, Time: m.now()})
+	j.hub.publish(JobEvent{Kind: "state", State: string(JobRunning)})
+	spec, h := j.spec, j.hub
+	m.mu.Unlock()
+	defer stop()
+
+	res, err := m.execute(ctx, id, spec, h)
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j.stopRun = nil
+	switch {
+	case err == nil:
+		m.finishLocked(j, JobDone, "", len(res.Shots))
+	case j.canceled:
+		m.finishLocked(j, JobCanceled, "", 0)
+	case m.ctx.Err() != nil:
+		// Shutdown: leave the journal saying running so the job resumes.
+		j.state = JobQueued
+	default:
+		m.finishLocked(j, JobFailed, err.Error(), 0)
+	}
+}
+
+// execute runs the spec with the daemon's plumbing: per-job paths and
+// a flow event bridge into the hub.
+func (m *Manager) execute(ctx context.Context, id string, spec *JobSpec, h *hub) (*flow.Result, error) {
+	l, err := spec.ResolveLayout(m.layoutRoot)
+	if err != nil {
+		return nil, err
+	}
+	dir := m.jobDir(id)
+	opts := RunOpts{
+		Checkpoint: filepath.Join(dir, "flow.ckpt"),
+		MaskPath:   m.MaskPath(id),
+		ShotsPath:  m.ShotsPath(id),
+		Events: func(ev flow.Event) {
+			switch ev.Kind {
+			case flow.EventBeat:
+				h.publish(JobEvent{Kind: "beat", Tile: ev.Tile, Iter: ev.Iter, Loss: ev.Loss})
+			case flow.EventTile:
+				h.publish(JobEvent{
+					Kind: "tile", Tile: ev.Tile, Shots: ev.Stat.Shots,
+					Resumed: ev.Stat.Resumed, CacheHit: ev.Stat.CacheHit,
+					Path: string(ev.Stat.Path),
+				})
+			}
+		},
+		OnBand: func(row, rows int) {
+			h.publish(JobEvent{Kind: "band", Row: row, Rows: rows})
+		},
+	}
+	return RunSpec(ctx, l, spec, opts)
+}
+
+// finishLocked moves a job to a terminal state: journal record, final
+// state event, event journal released. Callers hold m.mu.
+func (m *Manager) finishLocked(j *job, state JobState, errMsg string, shots int) {
+	j.state = state
+	j.errMsg = errMsg
+	j.shots = shots
+	m.appendRecord(jobRecord{ID: j.id, State: state, Error: errMsg, Shots: shots, Time: m.now()})
+	j.hub.publish(JobEvent{Kind: "state", State: string(state), Error: errMsg, Shots: shots})
+	j.hub.close()
+}
+
+// statusLocked snapshots a job. Callers hold m.mu.
+func (m *Manager) statusLocked(j *job) JobStatus {
+	return JobStatus{
+		ID: j.id, State: j.state, Tenant: j.spec.Tenant, Priority: j.spec.Priority,
+		Grid: j.spec.GridN, Error: j.errMsg, Shots: j.shots, LastSeq: j.hub.lastSeq(),
+	}
+}
+
+// appendRecord journals one job-state transition durably. Callers hold
+// m.mu (or are inside NewManager, before the manager escapes).
+func (m *Manager) appendRecord(rec jobRecord) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		panic("server: marshal jobRecord failed: " + err.Error())
+	}
+	if m.journal == nil {
+		return
+	}
+	if err := m.journal.Append(payload); err == nil {
+		m.journal.Sync()
+	}
+}

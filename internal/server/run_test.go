@@ -1,0 +1,381 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"cfaopc/internal/checkpoint"
+	"cfaopc/internal/grid"
+)
+
+// --- bandFile contract ---
+
+func TestBandFileRejectsOutOfOrderBand(t *testing.T) {
+	p := filepath.Join(t.TempDir(), "m.pgm")
+	bf, err := newBandFile(p, 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bf.abort()
+	if err := bf.WriteBand(4, grid.NewReal(8, 2)); err == nil {
+		t.Fatal("accepted a band starting past the next expected row")
+	}
+	if err := bf.WriteBand(0, grid.NewReal(4, 2)); err == nil {
+		t.Fatal("accepted a band narrower than the grid")
+	}
+}
+
+func TestBandFileCloseRequiresAllRows(t *testing.T) {
+	p := filepath.Join(t.TempDir(), "m.pgm")
+	bf, err := newBandFile(p, 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bf.WriteBand(0, grid.NewReal(8, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := bf.Close(); err == nil || !strings.Contains(err.Error(), "2 of 8 rows") {
+		t.Fatalf("Close with missing rows: %v", err)
+	}
+}
+
+func TestBandFileAbortLeavesPartialFile(t *testing.T) {
+	p := filepath.Join(t.TempDir(), "m.pgm")
+	bf, err := newBandFile(p, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bf.WriteBand(0, grid.NewReal(4, 1)); err != nil {
+		t.Fatal(err)
+	}
+	bf.abort()
+	b, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len("P5\n4 4\n255\n") + 4; len(b) != want {
+		t.Fatalf("partial file is %d bytes, want %d (header + one flushed band)", len(b), want)
+	}
+}
+
+func TestNewBandFileBadPath(t *testing.T) {
+	if _, err := newBandFile(filepath.Join(t.TempDir(), "no", "such", "dir", "m.pgm"), 8, nil); err == nil {
+		t.Fatal("created a band file under a nonexistent directory")
+	}
+}
+
+// --- RunSpec error paths ---
+
+func TestRunSpecRejectsUnknownEngines(t *testing.T) {
+	root := testLayoutRoot(t)
+	spec, err := parseSpecString(t, fastSpecJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := spec.ResolveLayout(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := *spec
+	bad.Method = "no-such-engine"
+	if _, err := RunSpec(context.Background(), l, &bad, RunOpts{}); err == nil {
+		t.Fatal("RunSpec accepted an unknown method")
+	}
+	bad = *spec
+	bad.Fallback = "no-such-engine"
+	if _, err := RunSpec(context.Background(), l, &bad, RunOpts{}); err == nil {
+		t.Fatal("RunSpec accepted an unknown fallback")
+	}
+}
+
+func TestRunSpecCanceledContextAborts(t *testing.T) {
+	root := testLayoutRoot(t)
+	spec, err := parseSpecString(t, fastSpecJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := spec.ResolveLayout(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	maskPath := filepath.Join(t.TempDir(), "mask.pgm")
+	if _, err := RunSpec(ctx, l, spec, RunOpts{MaskPath: maskPath}); err == nil {
+		t.Fatal("RunSpec succeeded with a pre-canceled context")
+	}
+	// abort() released the handle but kept the partial file for a resume.
+	if _, err := os.Stat(maskPath); err != nil {
+		t.Fatalf("aborted run removed the mask file: %v", err)
+	}
+}
+
+// --- spec resolution ---
+
+func TestResolveLayoutVariants(t *testing.T) {
+	root := testLayoutRoot(t)
+	spec, err := parseSpecString(t, `{"case":1}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l, err := spec.ResolveLayout(root); err != nil || l == nil {
+		t.Fatalf("case suite: %v", err)
+	}
+	spec, err = parseSpecString(t, `{"layout":"missing.glp"}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := spec.ResolveLayout(root); err == nil {
+		t.Fatal("resolved a nonexistent layout file")
+	}
+	if err := os.WriteFile(filepath.Join(root, "junk.gds"), []byte("not a gds"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	spec, err = parseSpecString(t, `{"layout":"junk.gds"}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := spec.ResolveLayout(root); err == nil {
+		t.Fatal("resolved a malformed gds file")
+	}
+}
+
+// --- manager construction and recovery errors ---
+
+func TestNewManagerRequiresDataDir(t *testing.T) {
+	if _, err := NewManager(ManagerConfig{}); err == nil {
+		t.Fatal("NewManager accepted an empty DataDir")
+	}
+}
+
+func TestNewManagerDataDirIsFile(t *testing.T) {
+	f := filepath.Join(t.TempDir(), "flat")
+	if err := os.WriteFile(f, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewManager(ManagerConfig{DataDir: f}); err == nil {
+		t.Fatal("NewManager accepted a plain file as DataDir")
+	}
+}
+
+func TestNewManagerRejectsCorruptJobRecord(t *testing.T) {
+	dataDir := filepath.Join(t.TempDir(), "data")
+	if err := os.MkdirAll(dataDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	j, _, err := checkpoint.Open(filepath.Join(dataDir, "jobs.log"), jobsJournalHeader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append([]byte("not json")); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	if _, err := NewManager(ManagerConfig{DataDir: dataDir}); err == nil {
+		t.Fatal("NewManager accepted a corrupt job record")
+	}
+}
+
+func TestNewManagerRejectsStateWithoutSpec(t *testing.T) {
+	dataDir := filepath.Join(t.TempDir(), "data")
+	if err := os.MkdirAll(dataDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	j, _, err := checkpoint.Open(filepath.Join(dataDir, "jobs.log"), jobsJournalHeader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append([]byte(`{"id":"job-0000","state":"running"}`)); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	if _, err := NewManager(ManagerConfig{DataDir: dataDir}); err == nil {
+		t.Fatal("NewManager accepted a job with state records but no spec")
+	}
+}
+
+// --- failed jobs over the API ---
+
+// TestHTTPFailedJob drives a job into the failed state (the layout file
+// disappears between submit-time validation and execution) and checks
+// the stream, status, and artifact endpoints all report it.
+func TestHTTPFailedJob(t *testing.T) {
+	root := testLayoutRoot(t)
+	m, ts := newTestService(t, root, 1, 8, false)
+	st, resp := postJob(t, ts.URL, fastSpecJSON)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("submit: %s", resp.Status)
+	}
+	if m.QueueDepth() != 1 {
+		t.Fatalf("queue depth %d after submit, want 1", m.QueueDepth())
+	}
+	if err := os.Remove(filepath.Join(root, "t.glp")); err != nil {
+		t.Fatal(err)
+	}
+	m.Start()
+	waitState(t, ts.URL, st.ID, JobFailed)
+	if got := getStatus(t, ts.URL, st.ID); got.Error == "" {
+		t.Fatal("failed job reports no error message")
+	}
+	for _, ep := range []string{"/mask", "/shots"} {
+		r, err := http.Get(ts.URL + "/jobs/" + st.ID + ep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		if r.StatusCode != http.StatusConflict {
+			t.Fatalf("GET %s on failed job: %s, want 409", ep, r.Status)
+		}
+	}
+	evs := streamEvents(t, ts.URL, st.ID, 0)
+	last := evs[len(evs)-1]
+	if last.State != string(JobFailed) || last.Error == "" {
+		t.Fatalf("final event %+v, want failed with an error", last)
+	}
+}
+
+func TestMaxInt64(t *testing.T) {
+	if maxInt64(3, 7) != 7 || maxInt64(7, 3) != 7 {
+		t.Fatal("maxInt64 broken")
+	}
+}
+
+// manyTileSpecJSON has 64 windows so a cancel or shutdown reliably
+// lands between tile completions.
+const manyTileSpecJSON = `{"layout":"t.glp","grid":512,"tile_core":64,"iters":2,"kopt":3}`
+
+// waitTile blocks until the job announces a completed tile.
+func waitTile(t *testing.T, m *Manager, id string) {
+	t.Helper()
+	sub, err := m.Subscribe(id, 0, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Unsubscribe(id, sub)
+	deadline := time.After(120 * time.Second)
+	for {
+		evs, _ := sub.drain()
+		for _, ev := range evs {
+			if ev.Kind == "tile" {
+				return
+			}
+			if ev.Kind == "state" && JobState(ev.State).terminal() {
+				t.Fatalf("job went %s before any tile completed", ev.State)
+			}
+		}
+		select {
+		case <-sub.wait():
+		case <-deadline:
+			t.Fatal("no tile completed in time")
+		}
+	}
+}
+
+// TestManagerCancelRunningJob interrupts a job mid-run and checks the
+// cancel wins over the run error, plus the unknown-ID error paths.
+func TestManagerCancelRunningJob(t *testing.T) {
+	root := testLayoutRoot(t)
+	m, ts := newTestService(t, root, 1, 8, true)
+	st, resp := postJob(t, ts.URL, manyTileSpecJSON)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("submit: %s", resp.Status)
+	}
+	waitTile(t, m, st.ID)
+	if _, err := m.Cancel(st.ID); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, ts.URL, st.ID, JobCanceled)
+	// Cancel of a terminal job is a no-op, not an error.
+	if st2, err := m.Cancel(st.ID); err != nil || st2.State != JobCanceled {
+		t.Fatalf("re-cancel: %v %v", st2, err)
+	}
+	if _, err := m.Cancel("nope"); !errors.Is(err, ErrNoJob) {
+		t.Fatalf("cancel unknown: %v", err)
+	}
+	if _, err := m.Status("nope"); !errors.Is(err, ErrNoJob) {
+		t.Fatalf("status unknown: %v", err)
+	}
+	if _, err := m.Subscribe("nope", 0, 1); !errors.Is(err, ErrNoJob) {
+		t.Fatalf("subscribe unknown: %v", err)
+	}
+	m.Unsubscribe("nope", nil) // harmless no-op
+}
+
+// TestManagerStopMidRunRequeues pins the shutdown contract: a job
+// interrupted by Stop gets no terminal record, so the next manager
+// finds it queued again.
+func TestManagerStopMidRunRequeues(t *testing.T) {
+	root := testLayoutRoot(t)
+	dataDir := filepath.Join(t.TempDir(), "data")
+	m1, err := NewManager(ManagerConfig{DataDir: dataDir, LayoutRoot: root})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := parseSpecString(t, manyTileSpecJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := m1.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1.Start()
+	waitTile(t, m1, st.ID)
+	m1.Stop()
+
+	m2, err := NewManager(ManagerConfig{DataDir: dataDir, LayoutRoot: root})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Stop()
+	got, err := m2.Status(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.State != JobQueued {
+		t.Fatalf("interrupted job recovered as %s, want queued", got.State)
+	}
+	if m2.QueueDepth() != 1 {
+		t.Fatalf("queue depth %d after recovery, want 1", m2.QueueDepth())
+	}
+}
+
+// TestNewManagerRejectsForeignEventJournal: recovery must refuse an
+// event journal bound to a different job.
+func TestNewManagerRejectsForeignEventJournal(t *testing.T) {
+	root := testLayoutRoot(t)
+	dataDir := filepath.Join(t.TempDir(), "data")
+	m1, err := NewManager(ManagerConfig{DataDir: dataDir, LayoutRoot: root})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := parseSpecString(t, fastSpecJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := m1.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1.Stop()
+	// Swap in a journal written under another job's identity.
+	path := filepath.Join(dataDir, "jobs", st.ID, "events.log")
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	h, err := newHub(path, "job-9999", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.publish(JobEvent{Kind: "state", State: "queued"})
+	h.close()
+	if _, err := NewManager(ManagerConfig{DataDir: dataDir, LayoutRoot: root}); err == nil {
+		t.Fatal("recovery accepted an event journal bound to a different job")
+	}
+}

@@ -1,0 +1,180 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"sync"
+	"time"
+)
+
+// ErrQueueFull is returned by enqueue when the backlog cap is reached;
+// the HTTP layer maps it to 429 so clients back off instead of piling
+// unbounded work onto the daemon.
+var ErrQueueFull = errors.New("server: job queue full")
+
+// schedJob is the scheduler's view of a queued job: enough to order it,
+// nothing about how to run it.
+type schedJob struct {
+	id       string
+	tenant   string
+	priority int
+	seq      int64     // admission order, the final tie-break
+	queuedAt time.Time // stamped from the scheduler clock
+}
+
+// scheduler is a bounded priority queue with per-tenant fairness.
+//
+// Each tenant holds its own queue ordered by (priority desc, admission
+// asc). Dequeue considers only the head of each tenant's queue and
+// picks the highest priority among heads; ties go to the tenant served
+// least recently (then to the lexicographically smaller tenant, so the
+// schedule is a pure function of the admission history). A tenant
+// flooding the queue with equal-priority jobs therefore interleaves
+// 1:1 with everyone else instead of starving them, while a genuinely
+// higher-priority job still preempts the rotation.
+type scheduler struct {
+	mu       sync.Mutex
+	cap      int // max queued jobs across all tenants
+	byTenant map[string][]*schedJob
+	served   map[string]int64 // tenant -> last service tick
+	queued   int
+	seq      int64            // admission counter
+	tick     int64            // service counter
+	now      func() time.Time // injectable for tests
+	wake     chan struct{}    // 1-buffered doorbell for blocked next()
+}
+
+func newScheduler(capacity int) *scheduler {
+	return &scheduler{
+		cap:      capacity,
+		byTenant: map[string][]*schedJob{},
+		served:   map[string]int64{},
+		now:      time.Now,
+		wake:     make(chan struct{}, 1),
+	}
+}
+
+// enqueue admits a job or rejects it with ErrQueueFull. Admission
+// order within a tenant and priority band is FIFO.
+func (s *scheduler) enqueue(id, tenant string, priority int) error {
+	s.mu.Lock()
+	if s.queued >= s.cap {
+		s.mu.Unlock()
+		return ErrQueueFull
+	}
+	s.seq++
+	j := &schedJob{id: id, tenant: tenant, priority: priority, seq: s.seq, queuedAt: s.now()}
+	q := s.byTenant[tenant]
+	at := sort.Search(len(q), func(i int) bool {
+		if q[i].priority != j.priority {
+			return q[i].priority < j.priority
+		}
+		return q[i].seq > j.seq
+	})
+	q = append(q, nil)
+	copy(q[at+1:], q[at:])
+	q[at] = j
+	s.byTenant[tenant] = q
+	s.queued++
+	s.mu.Unlock()
+	s.ring()
+	return nil
+}
+
+// cancel removes a still-queued job. It reports false when the job is
+// not in the queue — already dispatched, finished, or never admitted.
+func (s *scheduler) cancel(id string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for tenant, q := range s.byTenant {
+		for i, j := range q {
+			if j.id == id {
+				s.byTenant[tenant] = append(q[:i:i], q[i+1:]...)
+				if len(s.byTenant[tenant]) == 0 {
+					delete(s.byTenant, tenant)
+				}
+				s.queued--
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// next blocks until a job is available or ctx is done, then dequeues
+// the job the fairness rule selects.
+func (s *scheduler) next(ctx context.Context) (*schedJob, error) {
+	for {
+		if j := s.pop(); j != nil {
+			return j, nil
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-s.wake:
+		}
+	}
+}
+
+// pop dequeues the selected job, or returns nil when the queue is
+// empty.
+func (s *scheduler) pop() *schedJob {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var bestTenant string
+	var best *schedJob
+	for tenant, q := range s.byTenant {
+		head := q[0]
+		if best == nil || better(head, tenant, best, bestTenant, s.served) {
+			best, bestTenant = head, tenant
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	q := s.byTenant[bestTenant]
+	if len(q) == 1 {
+		delete(s.byTenant, bestTenant)
+	} else {
+		s.byTenant[bestTenant] = q[1:]
+	}
+	s.queued--
+	s.tick++
+	s.served[bestTenant] = s.tick
+	if s.queued > 0 {
+		// The doorbell holds one signal, so back-to-back enqueues can
+		// coalesce; cascade it forward while work remains queued so
+		// every blocked executor eventually drains one job.
+		s.ring()
+	}
+	return best
+}
+
+// better reports whether head-of-queue a (of tenant ta) should be
+// served before b (of tenant tb): priority first, then the tenant
+// served longest ago, then the stable name order.
+func better(a *schedJob, ta string, b *schedJob, tb string, served map[string]int64) bool {
+	if a.priority != b.priority {
+		return a.priority > b.priority
+	}
+	if served[ta] != served[tb] {
+		return served[ta] < served[tb]
+	}
+	return ta < tb
+}
+
+// depth reports the number of queued jobs.
+func (s *scheduler) depth() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.queued
+}
+
+// ring wakes one blocked next() without ever blocking the caller.
+func (s *scheduler) ring() {
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+}

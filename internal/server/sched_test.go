@@ -1,0 +1,250 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// fakeClock is a deterministic scheduler clock: every reading advances
+// one second from an arbitrary epoch.
+type fakeClock struct {
+	t time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) now() time.Time {
+	c.t = c.t.Add(time.Second)
+	return c.t
+}
+
+type addStep struct {
+	id       string
+	tenant   string
+	priority int
+}
+
+func TestSchedulerOrdering(t *testing.T) {
+	cases := []struct {
+		name   string
+		cap    int
+		add    []addStep
+		cancel []string
+		full   []string // ids whose enqueue must be rejected
+		want   []string // pop order of everything admitted
+	}{
+		{
+			name: "priority descends, FIFO within a band",
+			cap:  10,
+			add: []addStep{
+				{"a", "t", 0}, {"b", "t", 5}, {"c", "t", 0}, {"d", "t", -3}, {"e", "t", 5},
+			},
+			want: []string{"b", "e", "a", "c", "d"},
+		},
+		{
+			name: "flooding tenant interleaves 1:1 with the other",
+			cap:  10,
+			add: []addStep{
+				{"a1", "alice", 0}, {"a2", "alice", 0}, {"a3", "alice", 0},
+				{"a4", "alice", 0}, {"a5", "alice", 0},
+				{"b1", "bob", 0}, {"b2", "bob", 0},
+			},
+			want: []string{"a1", "b1", "a2", "b2", "a3", "a4", "a5"},
+		},
+		{
+			name: "high priority preempts the fairness rotation",
+			cap:  10,
+			add: []addStep{
+				{"a1", "alice", 0}, {"a2", "alice", 0},
+				{"b1", "bob", 0}, {"urgent", "bob", 9},
+			},
+			// urgent jumps the whole queue; it also counts as bob's
+			// service, so the rotation resumes with alice.
+			want: []string{"urgent", "a1", "b1", "a2"},
+		},
+		{
+			name: "three tenants rotate",
+			cap:  10,
+			add: []addStep{
+				{"a1", "a", 0}, {"a2", "a", 0},
+				{"b1", "b", 0}, {"b2", "b", 0},
+				{"c1", "c", 0}, {"c2", "c", 0},
+			},
+			want: []string{"a1", "b1", "c1", "a2", "b2", "c2"},
+		},
+		{
+			name: "queue-full rejects beyond the cap",
+			cap:  2,
+			add:  []addStep{{"a", "t", 0}, {"b", "t", 0}, {"c", "t", 0}, {"d", "u", 9}},
+			full: []string{"c", "d"},
+			want: []string{"a", "b"},
+		},
+		{
+			name:   "cancel-while-queued removes exactly that job",
+			cap:    10,
+			add:    []addStep{{"a", "t", 0}, {"b", "t", 0}, {"c", "t", 0}},
+			cancel: []string{"b"},
+			want:   []string{"a", "c"},
+		},
+		{
+			name:   "cancel frees queue capacity",
+			cap:    2,
+			add:    []addStep{{"a", "t", 0}, {"b", "t", 0}},
+			cancel: []string{"a"},
+			want:   []string{"b"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := newScheduler(tc.cap)
+			s.now = newFakeClock().now
+			rejected := map[string]bool{}
+			for _, a := range tc.add {
+				if err := s.enqueue(a.id, a.tenant, a.priority); err != nil {
+					if !errors.Is(err, ErrQueueFull) {
+						t.Fatalf("enqueue %s: %v", a.id, err)
+					}
+					rejected[a.id] = true
+				}
+			}
+			for _, id := range tc.full {
+				if !rejected[id] {
+					t.Errorf("enqueue %s should have been rejected", id)
+				}
+			}
+			if len(rejected) != len(tc.full) {
+				t.Errorf("rejected %v, want %v", rejected, tc.full)
+			}
+			for _, id := range tc.cancel {
+				if !s.cancel(id) {
+					t.Fatalf("cancel %s: not found in queue", id)
+				}
+			}
+			var got []string
+			for {
+				j := s.pop()
+				if j == nil {
+					break
+				}
+				got = append(got, j.id)
+			}
+			if len(got) != len(tc.want) {
+				t.Fatalf("popped %v, want %v", got, tc.want)
+			}
+			for i := range tc.want {
+				if got[i] != tc.want[i] {
+					t.Fatalf("pop order %v, want %v", got, tc.want)
+				}
+			}
+			if s.depth() != 0 {
+				t.Fatalf("depth %d after draining", s.depth())
+			}
+		})
+	}
+}
+
+func TestSchedulerFakeClockStampsAdmission(t *testing.T) {
+	s := newScheduler(4)
+	s.now = newFakeClock().now
+	for _, id := range []string{"a", "b", "c"} {
+		if err := s.enqueue(id, "t", 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var prev time.Time
+	for i := 0; i < 3; i++ {
+		j := s.pop()
+		if !j.queuedAt.After(prev) {
+			t.Fatalf("job %s queuedAt %v not after %v", j.id, j.queuedAt, prev)
+		}
+		prev = j.queuedAt
+	}
+}
+
+func TestSchedulerCancelUnknown(t *testing.T) {
+	s := newScheduler(2)
+	if s.cancel("ghost") {
+		t.Fatal("canceled a job that was never queued")
+	}
+	s.enqueue("a", "t", 0)
+	s.pop()
+	if s.cancel("a") {
+		t.Fatal("canceled a job already dispatched")
+	}
+}
+
+func TestSchedulerNextBlocksAndWakes(t *testing.T) {
+	s := newScheduler(4)
+	got := make(chan string, 1)
+	go func() {
+		j, err := s.next(context.Background())
+		if err != nil {
+			got <- "err:" + err.Error()
+			return
+		}
+		got <- j.id
+	}()
+	time.Sleep(20 * time.Millisecond) // let next() block on the doorbell
+	if err := s.enqueue("a", "t", 0); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case id := <-got:
+		if id != "a" {
+			t.Fatalf("next returned %q, want a", id)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("next() never woke after enqueue")
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.next(ctx)
+		done <- err
+	}()
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("next returned %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("next() ignored context cancellation")
+	}
+}
+
+// TestSchedulerDoorbellCascades pins the coalescing fix: two executors
+// blocked on next() must both be served when two jobs arrive
+// back-to-back, even though the doorbell holds only one signal.
+func TestSchedulerDoorbellCascades(t *testing.T) {
+	s := newScheduler(4)
+	got := make(chan string, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			j, err := s.next(context.Background())
+			if err == nil {
+				got <- j.id
+			}
+		}()
+	}
+	time.Sleep(20 * time.Millisecond)
+	s.enqueue("a", "t", 0)
+	s.enqueue("b", "t", 0)
+	seen := map[string]bool{}
+	for i := 0; i < 2; i++ {
+		select {
+		case id := <-got:
+			seen[id] = true
+		case <-time.After(5 * time.Second):
+			t.Fatalf("only %d of 2 executors woke; doorbell lost a signal", i)
+		}
+	}
+	if !seen["a"] || !seen["b"] {
+		t.Fatalf("served %v, want both a and b", seen)
+	}
+}
