@@ -121,6 +121,7 @@ func main() {
 		outDir      = flag.String("out", "out", "output directory")
 		jobFile     = flag.String("job", "", "run a cfaopcd JSON job spec through the service engine ('-' = stdin); writes mask.pgm + shots.csv under -out")
 		layoutRoot  = flag.String("layout-root", ".", "directory -job specs resolve layout refs under")
+		strictIO    = flag.Bool("strict-storage", false, "tiled flow: fail the run on any checkpoint or quarantine write error instead of degrading (default: degrade and report)")
 	)
 	flag.Parse()
 
@@ -309,6 +310,7 @@ func main() {
 			Drain:                drainCh,
 			QuarantineMaxBundles: *quarMaxN,
 			QuarantineMaxBytes:   *quarMaxB,
+			StrictStorage:        *strictIO,
 		}
 		fCfg.AdaptiveTiles = *adaptive
 		var cache *wcache.Cache
@@ -426,8 +428,12 @@ func main() {
 			fmt.Printf("cache: %d hits translated into place (%d from disk), %d misses, %d entries ≈ %.1f MB\n",
 				res.CacheHits, st.DiskHits, res.CacheMisses, st.Entries, float64(res.CacheBytes)/(1<<20))
 			if st.BadDisk+st.DiskErrs > 0 {
-				fmt.Printf("cache: %d corrupt disk entries dropped, %d disk errors — each degraded to a miss\n",
-					st.BadDisk, st.DiskErrs)
+				note := ""
+				if st.LastDiskErr != "" {
+					note = " (last: " + st.LastDiskErr + ")"
+				}
+				fmt.Printf("cache: %d corrupt disk entries dropped, %d disk errors — each degraded to a miss%s\n",
+					st.BadDisk, st.DiskErrs, note)
 			}
 		}
 		for _, ts := range res.TileStats {
@@ -476,6 +482,14 @@ func main() {
 		if res.RemoteCrashes > 0 || res.RemoteBroken > 0 {
 			fmt.Printf("remote: %d link failures survived, %d breaker openings degraded tiles to in-process\n",
 				res.RemoteCrashes, res.RemoteBroken)
+		}
+		if res.CheckpointDegraded {
+			fmt.Printf("storage: checkpoint journal failed mid-run (%s) — results are correct but this run cannot be resumed (-strict-storage to fail fast)\n",
+				res.CheckpointErr)
+		}
+		if res.QuarantineDropped > 0 {
+			fmt.Printf("storage: %d quarantine bundle(s) lost to write errors — forensics dropped, tiles unaffected (-strict-storage to fail fast)\n",
+				res.QuarantineDropped)
 		}
 	} else {
 		mask, shots = optimize(sim, target)

@@ -25,6 +25,15 @@
 // config) pair: Open fails with ErrHeaderMismatch when the stored
 // fingerprint differs from the caller's, so a stale journal can never
 // leak tiles into a different run.
+//
+// A Journal that sees a write or sync error poisons itself: every
+// later Append/Sync returns ErrPoisoned wrapping the original cause.
+// In particular a failed fsync is never retried on the same fd — after
+// fsync reports failure the kernel may already have dropped the dirty
+// pages, so a succeeding retry proves nothing (the fsyncgate bug
+// class). Callers decide the policy: the flow degrades the run to
+// un-resumable-but-correct, the daemon fails the job before any
+// subscriber observes the event.
 package checkpoint
 
 import (
@@ -35,6 +44,8 @@ import (
 	"io"
 	"os"
 	"sync"
+
+	"cfaopc/internal/iox"
 )
 
 var magic = []byte("CFCKPT1\n")
@@ -44,6 +55,11 @@ var magic = []byte("CFCKPT1\n")
 // delete or relocate the file.
 var ErrHeaderMismatch = errors.New("checkpoint: journal header does not match this run")
 
+// ErrPoisoned means an earlier Append or Sync on this journal failed;
+// the journal refuses further writes because durability can no longer
+// be promised on this fd. Unwrap for the original storage error.
+var ErrPoisoned = errors.New("checkpoint: journal poisoned by earlier write error")
+
 // MaxRecordBytes bounds one record's payload; it exists so a corrupt
 // length prefix cannot demand an absurd allocation during replay.
 const MaxRecordBytes = 64 << 20
@@ -52,18 +68,26 @@ const MaxRecordBytes = 64 << 20
 // safe for concurrent use; the worker pool writes records as tiles
 // complete, in whatever order they finish.
 type Journal struct {
-	mu sync.Mutex
-	f  *os.File
+	mu       sync.Mutex
+	f        iox.File
+	size     int64 // bytes through the last attempted append
+	poisoned error // first write/sync failure; sticky
 }
 
-// Open opens (or creates) the journal at path. The caller's header
-// fingerprint is written to a fresh journal and verified against an
-// existing one. Valid tile payloads already on disk are returned in
-// append order; a torn final record is discarded and the file is
-// truncated to the last valid boundary so subsequent appends start
-// clean.
+// Open opens (or creates) the journal at path on the real filesystem.
 func Open(path string, header []byte) (*Journal, [][]byte, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	return OpenFS(nil, path, header)
+}
+
+// OpenFS is Open through an explicit filesystem seam (nil = the real
+// filesystem). The caller's header fingerprint is written to a fresh
+// journal and verified against an existing one. Valid tile payloads
+// already on disk are returned in append order; a torn final record is
+// discarded and the file is truncated to the last valid boundary so
+// subsequent appends start clean.
+func OpenFS(fsys iox.FS, path string, header []byte) (*Journal, [][]byte, error) {
+	fsys = iox.OrOS(fsys)
+	f, err := fsys.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -73,17 +97,7 @@ func Open(path string, header []byte) (*Journal, [][]byte, error) {
 		return nil, nil, err
 	}
 	if st.Size() == 0 {
-		// Fresh journal: magic + header record.
-		if _, err := f.Write(magic); err != nil {
-			f.Close()
-			return nil, nil, err
-		}
-		j := &Journal{f: f}
-		if err := j.Append(header); err != nil {
-			f.Close()
-			return nil, nil, err
-		}
-		return j, nil, nil
+		return startFresh(f, header)
 	}
 
 	gotHeader, payloads, validOff, err := replay(f)
@@ -98,16 +112,7 @@ func Open(path string, header []byte) (*Journal, [][]byte, error) {
 			f.Close()
 			return nil, nil, serr
 		}
-		if _, werr := f.Write(magic); werr != nil {
-			f.Close()
-			return nil, nil, werr
-		}
-		j := &Journal{f: f}
-		if aerr := j.Append(header); aerr != nil {
-			f.Close()
-			return nil, nil, aerr
-		}
-		return j, nil, nil
+		return startFresh(f, header)
 	}
 	if err != nil {
 		f.Close()
@@ -126,7 +131,21 @@ func Open(path string, header []byte) (*Journal, [][]byte, error) {
 		f.Close()
 		return nil, nil, err
 	}
-	return &Journal{f: f}, payloads, nil
+	return &Journal{f: f, size: validOff}, payloads, nil
+}
+
+// startFresh writes magic + header record to an empty file.
+func startFresh(f iox.File, header []byte) (*Journal, [][]byte, error) {
+	if _, err := f.Write(magic); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	j := &Journal{f: f, size: int64(len(magic))}
+	if err := j.Append(header); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return j, nil, nil
 }
 
 // replay reads magic, the header record and every tile record, stopping
@@ -135,12 +154,20 @@ func Open(path string, header []byte) (*Journal, [][]byte, error) {
 // valid record. A record that is fully present but fails its CRC while
 // more records follow is mid-file corruption and is returned as an
 // error.
-func replay(f *os.File) (header []byte, payloads [][]byte, validOff int64, err error) {
+func replay(f iox.File) (header []byte, payloads [][]byte, validOff int64, err error) {
 	if _, err := f.Seek(0, io.SeekStart); err != nil {
 		return nil, nil, 0, err
 	}
 	m := make([]byte, len(magic))
-	if _, err := io.ReadFull(f, m); err != nil || !bytesEqual(m, magic) {
+	n, err := io.ReadFull(f, m)
+	if err != nil && bytesEqual(m[:n], magic[:n]) {
+		// The whole file is a strict prefix of the magic: a crash tore
+		// the very first write, so the journal never finished being
+		// born. Report it like a torn header and let Open restart the
+		// file — this is a birth crash, not foreign data.
+		return nil, nil, 0, errNoHeader
+	}
+	if err != nil || !bytesEqual(m, magic) {
 		return nil, nil, 0, fmt.Errorf("checkpoint: not a journal (bad magic)")
 	}
 	off := int64(len(magic))
@@ -186,7 +213,7 @@ var errTorn = errors.New("checkpoint: torn record")
 // readRecord decodes one record at the current offset. io.EOF at a
 // record boundary is a clean end. A short header/payload is torn. A CRC
 // mismatch is torn when it is the final record, corruption otherwise.
-func readRecord(f *os.File) (payload []byte, n int64, err error) {
+func readRecord(f iox.File) (payload []byte, n int64, err error) {
 	var hdr [8]byte
 	if _, err := io.ReadFull(f, hdr[:]); err != nil {
 		if err == io.EOF {
@@ -217,7 +244,9 @@ func readRecord(f *os.File) (payload []byte, n int64, err error) {
 
 // Append writes one payload as a length-prefixed, CRC-guarded record.
 // Safe for concurrent use. The write is buffered by the OS, not
-// fsynced; call Sync for a durability barrier.
+// fsynced; call Sync for a durability barrier. A write error poisons
+// the journal: this and all later Appends fail, and the on-disk tail
+// is whatever prefix landed (a torn record the next Open truncates).
 func (j *Journal) Append(payload []byte) error {
 	if len(payload) > MaxRecordBytes {
 		return fmt.Errorf("checkpoint: payload %d bytes exceeds record limit", len(payload))
@@ -228,15 +257,49 @@ func (j *Journal) Append(payload []byte) error {
 	copy(rec[8:], payload)
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	_, err := j.f.Write(rec)
-	return err
+	if j.poisoned != nil {
+		return fmt.Errorf("%w: %v", ErrPoisoned, j.poisoned)
+	}
+	n, err := j.f.Write(rec)
+	j.size += int64(n)
+	if err != nil {
+		j.poisoned = err
+		return err
+	}
+	return nil
 }
 
-// Sync flushes appended records to stable storage.
+// Sync flushes appended records to stable storage. A sync error poisons
+// the journal — the failed fsync is never retried on this fd, because
+// the kernel may have dropped the dirty pages it reported on and a
+// later success would be a false durability claim.
 func (j *Journal) Sync() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return j.f.Sync()
+	if j.poisoned != nil {
+		return fmt.Errorf("%w: %v", ErrPoisoned, j.poisoned)
+	}
+	if err := j.f.Sync(); err != nil {
+		j.poisoned = err
+		return err
+	}
+	return nil
+}
+
+// Size returns the journal's byte size through the last attempted
+// append (magic and header included).
+func (j *Journal) Size() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.size
+}
+
+// Err returns the first write/sync failure that poisoned the journal,
+// or nil while the journal is healthy.
+func (j *Journal) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.poisoned
 }
 
 // Close closes the underlying file.

@@ -3,6 +3,9 @@ package checkpoint
 import (
 	"fmt"
 	"os"
+	"path/filepath"
+
+	"cfaopc/internal/iox"
 )
 
 // CompactStats reports what a Compact pass did.
@@ -13,20 +16,28 @@ type CompactStats struct {
 	BytesAfter  int64
 }
 
-// Compact rewrites the journal at path keeping only the LAST record for
-// each key, in first-appearance order of the surviving keys. keyOf maps
-// a record payload to its supersession key (e.g. the tile index, so a
-// tile's completion record supersedes its partial-progress snapshots);
-// a keyOf error aborts the pass with the original journal untouched.
+// Compact is CompactFS on the real filesystem.
+func Compact(path string, header []byte, keyOf func(payload []byte) (string, error)) (CompactStats, error) {
+	return CompactFS(nil, path, header, keyOf)
+}
+
+// CompactFS rewrites the journal at path keeping only the LAST record
+// for each key, in first-appearance order of the surviving keys. keyOf
+// maps a record payload to its supersession key (e.g. the tile index,
+// so a tile's completion record supersedes its partial-progress
+// snapshots); a keyOf error aborts the pass with the original journal
+// untouched.
 //
 // Replay semantics are last-record-wins per key, so resuming from the
 // compacted journal is byte-identical to resuming from the original.
-// The rewrite goes through a temp file + rename, so a crash mid-compact
-// leaves the original journal intact; a torn tail on the input is
-// dropped exactly as Open would drop it.
-func Compact(path string, header []byte, keyOf func(payload []byte) (string, error)) (CompactStats, error) {
+// The rewrite goes through a temp file + fsync + rename + parent-dir
+// fsync, so a crash at any instant leaves either the original journal
+// or the durable compacted one; a torn tail on the input is dropped
+// exactly as Open would drop it.
+func CompactFS(fsys iox.FS, path string, header []byte, keyOf func(payload []byte) (string, error)) (CompactStats, error) {
+	fsys = iox.OrOS(fsys)
 	var stats CompactStats
-	f, err := os.Open(path)
+	f, err := fsys.Open(path)
 	if err != nil {
 		return stats, err
 	}
@@ -59,11 +70,11 @@ func Compact(path string, header []byte, keyOf func(payload []byte) (string, err
 	}
 
 	tmp := path + ".compact.tmp"
-	out, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	out, err := fsys.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return stats, err
 	}
-	cleanup := func() { out.Close(); os.Remove(tmp) }
+	cleanup := func() { out.Close(); fsys.Remove(tmp) }
 	if _, err := out.Write(magic); err != nil {
 		cleanup()
 		return stats, err
@@ -89,11 +100,17 @@ func Compact(path string, header []byte, keyOf func(payload []byte) (string, err
 		return stats, err
 	}
 	if err := out.Close(); err != nil {
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return stats, err
 	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
+	if err := fsys.Rename(tmp, path); err != nil {
+		fsys.Remove(tmp)
+		return stats, err
+	}
+	// The rename replaced a directory entry; without syncing the parent
+	// a crash can resurrect the pre-compaction journal with the temp
+	// file gone — still correct, but the compaction silently lost.
+	if err := fsys.SyncDir(filepath.Dir(path)); err != nil {
 		return stats, err
 	}
 	stats.Kept = len(order)

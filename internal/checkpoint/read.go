@@ -3,10 +3,16 @@ package checkpoint
 import (
 	"errors"
 	"fmt"
-	"os"
+
+	"cfaopc/internal/iox"
 )
 
-// Read replays the journal at path without taking the append handle:
+// Read is ReadFS on the real filesystem.
+func Read(path string, header []byte) ([][]byte, error) {
+	return ReadFS(nil, path, header)
+}
+
+// ReadFS replays the journal at path without taking the append handle:
 // the file is opened read-only, never truncated, and never locked, so
 // an observer (an SSE reconnect replaying a finished job's event log, a
 // daemon scanning job state it does not own yet) can read a journal
@@ -18,8 +24,9 @@ import (
 // unlike Open the tail is left in place: repairing the file is the
 // appender's job. Mid-file corruption is still an error, and a journal
 // that never got its header (the creator died at birth) reads as empty.
-func Read(path string, header []byte) ([][]byte, error) {
-	f, err := os.Open(path)
+func ReadFS(fsys iox.FS, path string, header []byte) ([][]byte, error) {
+	fsys = iox.OrOS(fsys)
+	f, err := fsys.Open(path)
 	if err != nil {
 		return nil, err
 	}

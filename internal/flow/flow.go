@@ -79,6 +79,7 @@ import (
 	"cfaopc/internal/checkpoint"
 	"cfaopc/internal/geom"
 	"cfaopc/internal/grid"
+	"cfaopc/internal/iox"
 	"cfaopc/internal/layout"
 	"cfaopc/internal/litho"
 	"cfaopc/internal/opt"
@@ -166,9 +167,23 @@ type Config struct {
 	PartialEvery int
 	// QuarantineDir, when non-empty, receives a self-contained repro
 	// bundle (internal/quarantine) for every tile that degrades to
-	// empty. A bundle write failure fails the run, like a checkpoint
-	// append failure; probe the directory up front.
+	// empty. A bundle write failure loses that tile's forensics but
+	// never the tile or the run: the drop is counted in
+	// Result.QuarantineDropped (StrictStorage restores fail-fast).
 	QuarantineDir string
+
+	// FS is the filesystem seam for the run's persistence side effects —
+	// checkpoint journal, quarantine bundles — used by fault-injection
+	// and crash-consistency tests. Nil means the real filesystem. The
+	// dedup cache carries its own seam (wcache.Config.FS), since the
+	// cache object usually outlives one run.
+	FS iox.FS
+	// StrictStorage restores the pre-degradation policy: a checkpoint
+	// append/sync failure or a quarantine bundle write failure fails the
+	// run instead of degrading it. Default false — an OPC run that has
+	// burned hours of compute finishes correct-but-unresumable rather
+	// than dying because the disk filled.
+	StrictStorage bool
 	// Faults, when non-nil, wraps Optimize and Fallback with
 	// deterministic fault injection (see InjectFaults) AND records each
 	// quarantined tile's script into its bundle, so replays re-inject
@@ -531,6 +546,18 @@ type Result struct {
 	// simulator-internal allocations are not counted; the estimate's job
 	// is to make the O(window²) vs O(GridN²) scaling observable.
 	PeakBytes int64
+
+	// CheckpointDegraded marks a run whose checkpoint journal suffered a
+	// write or sync failure after opening: the run's outputs are still
+	// complete and correct, but tiles finished after the failure were
+	// not journaled, so a crash would re-optimize them. CheckpointErr
+	// holds the first storage error. Both zero under StrictStorage
+	// (the run fails instead) and on healthy storage.
+	CheckpointDegraded bool
+	CheckpointErr      string
+	// QuarantineDropped counts empty tiles whose repro bundle could not
+	// be written (disk fault); the tiles themselves completed normally.
+	QuarantineDropped int
 }
 
 // maxFailureBytes caps TileStat.Failure; maxAttemptErrBytes caps each
@@ -633,9 +660,18 @@ type runEnv struct {
 	fp        []byte
 	keyPrefix string // config fingerprint: the dedup cache key prefix
 	ix        *layout.WindowIndex
+	fsys      iox.FS // resolved Config.FS (never nil in a tiled run)
 	journal   *checkpoint.Journal
 	partials  map[int]partialRecord
 	errCh     chan error
+
+	// Checkpoint degradation state: on the first journal write/sync
+	// failure (without StrictStorage) the run records the cause, stops
+	// journaling, and keeps computing — correct but un-resumable.
+	ckptOnce    sync.Once
+	ckptDead    atomic.Bool
+	ckptErr     atomic.Value // string: first storage error
+	quarDropped atomic.Int64 // bundles lost to storage faults
 
 	cacheHits   atomic.Int64
 	cacheMisses atomic.Int64
@@ -679,6 +715,29 @@ func (env *runEnv) reportErr(err error) {
 	case env.errCh <- err:
 	default:
 	}
+}
+
+// degradeCheckpoint handles a journal write/sync failure per the
+// durability contract: under StrictStorage it fails the run; otherwise
+// it poisons journaling for the rest of the run (first cause recorded,
+// later tiles simply skip the append) and the run finishes correct but
+// un-resumable. The journal fd itself is already poisoned by
+// internal/checkpoint, so nothing ever retries an fsync that failed.
+func (env *runEnv) degradeCheckpoint(err error) {
+	if env.cfg.StrictStorage {
+		env.reportErr(fmt.Errorf("checkpoint append: %w", err))
+		return
+	}
+	env.ckptOnce.Do(func() {
+		env.ckptErr.Store(err.Error())
+		env.ckptDead.Store(true)
+	})
+}
+
+// journalHealthy reports whether checkpoint appends should still be
+// attempted.
+func (env *runEnv) journalHealthy() bool {
+	return env.journal != nil && !env.ckptDead.Load()
 }
 
 // validateTile rejects optimizer output that would poison the stitched
@@ -1006,15 +1065,26 @@ func (env *runEnv) saveQuarantine(j tileJob, target *grid.Real, outcomes []Attem
 	}
 	env.quarMu.Lock()
 	defer env.quarMu.Unlock()
-	bpath, err := quarantine.Save(cfg.QuarantineDir, env.buildBundle(j, target, outcomes))
+	bpath, err := quarantine.SaveFS(env.fsys, cfg.QuarantineDir, env.buildBundle(j, target, outcomes))
 	if err != nil {
-		env.reportErr(fmt.Errorf("quarantine: %w", err))
+		// Losing the bundle loses forensics, never the tile: the empty
+		// result is already folded in, so the run continues and the drop
+		// is counted (StrictStorage restores the old fail-fast policy).
+		if cfg.StrictStorage {
+			env.reportErr(fmt.Errorf("quarantine: %w", err))
+		} else {
+			env.quarDropped.Add(1)
+		}
 		return
 	}
 	st.Bundle = bpath
 	if cfg.QuarantineMaxBundles > 0 || cfg.QuarantineMaxBytes > 0 {
 		if _, perr := quarantine.Prune(cfg.QuarantineDir, cfg.QuarantineMaxBundles, cfg.QuarantineMaxBytes); perr != nil {
-			env.reportErr(perr)
+			if cfg.StrictStorage {
+				env.reportErr(perr)
+			} else {
+				env.quarDropped.Add(1)
+			}
 		}
 	}
 }
@@ -1136,6 +1206,9 @@ func decodeRecord(p []byte) (journalRecord, error) {
 // concurrency-safe, so snapshot records from parallel tiles interleave
 // freely with completed-tile records.
 func (env *runEnv) appendPartial(index, attempt int, s opt.Snapshot) {
+	if !env.journalHealthy() {
+		return
+	}
 	buf, err := encodeRecord(journalRecord{Partial: &partialRecord{
 		Index: index, Attempt: attempt, Iter: s.Iter, Loss: s.Loss,
 		Params: s.Params, OptT: s.OptT, OptM: s.OptM, OptV: s.OptV,
@@ -1144,7 +1217,7 @@ func (env *runEnv) appendPartial(index, attempt int, s opt.Snapshot) {
 		err = env.journal.Append(buf)
 	}
 	if err != nil {
-		env.reportErr(fmt.Errorf("checkpoint partial: %w", err))
+		env.degradeCheckpoint(fmt.Errorf("partial: %w", err))
 	}
 }
 
@@ -1252,6 +1325,7 @@ func RunContext(ctx context.Context, l *layout.Layout, cfg Config) (*Result, err
 		lay:       l,
 		fp:        fingerprint(l, cfg),
 		keyPrefix: configFingerprint(cfg, dx),
+		fsys:      iox.OrOS(cfg.FS),
 		errCh:     make(chan error, 1),
 		events:    cfg.Events,
 	}
@@ -1295,7 +1369,7 @@ func RunContext(ctx context.Context, l *layout.Layout, cfg Config) (*Result, err
 	resumed := 0
 	if cfg.CheckpointPath != "" {
 		var payloads [][]byte
-		journal, payloads, err := checkpoint.Open(cfg.CheckpointPath, env.fp)
+		journal, payloads, err := checkpoint.OpenFS(cfg.FS, cfg.CheckpointPath, env.fp)
 		if err != nil {
 			return nil, fmt.Errorf("flow: %w", err)
 		}
@@ -1435,13 +1509,13 @@ func RunContext(ctx context.Context, l *layout.Layout, cfg Config) (*Result, err
 			r0, r1 := plan.rowSpan(j)
 			asm.tileDone(r0, r1, out.shots)
 		}
-		if env.journal != nil && ctx.Err() == nil {
+		if env.journalHealthy() && ctx.Err() == nil {
 			buf, err := encodeRecord(journalRecord{Tile: &tileRecord{Shots: out.shots, Stat: out.stat}})
 			if err == nil {
 				err = env.journal.Append(buf)
 			}
 			if err != nil {
-				env.reportErr(fmt.Errorf("checkpoint append: %w", err))
+				env.degradeCheckpoint(err)
 			}
 		}
 	}
@@ -1544,14 +1618,27 @@ feed:
 	}
 	res.Merged, res.Split, res.Skipped = plan.merged, plan.split, plan.skipped
 	res.PeakBytes = estimatePeakBytes(cfg, plan.maxWindow, workers, env.ix.Bytes(), len(res.Shots))
+	if s, ok := env.ckptErr.Load().(string); ok {
+		res.CheckpointDegraded = true
+		res.CheckpointErr = s
+	}
+	res.QuarantineDropped = int(env.quarDropped.Load())
 	if drained {
 		// Graceful shutdown: hand back the partial result for reporting,
 		// but no stitched mask — the shot list is incomplete by
 		// construction. The journal is synced so a resume picks up
-		// exactly where the drain stopped dispatch.
-		if env.journal != nil {
+		// exactly where the drain stopped dispatch; a sync failure
+		// degrades the run like any other checkpoint fault.
+		if env.journalHealthy() {
 			if err := env.journal.Sync(); err != nil {
-				return nil, fmt.Errorf("flow: %w", err)
+				if cfg.StrictStorage {
+					return nil, fmt.Errorf("flow: %w", err)
+				}
+				env.degradeCheckpoint(fmt.Errorf("drain sync: %w", err))
+				if s, ok := env.ckptErr.Load().(string); ok {
+					res.CheckpointDegraded = true
+					res.CheckpointErr = s
+				}
 			}
 		}
 		return res, ErrDrained
@@ -1642,7 +1729,7 @@ func CompactCheckpoint(l *layout.Layout, cfg Config) (checkpoint.CompactStats, e
 	if cfg.CheckpointPath == "" {
 		return checkpoint.CompactStats{}, fmt.Errorf("flow: no checkpoint path to compact")
 	}
-	return checkpoint.Compact(cfg.CheckpointPath, fingerprint(l, cfg), func(p []byte) (string, error) {
+	return checkpoint.CompactFS(cfg.FS, cfg.CheckpointPath, fingerprint(l, cfg), func(p []byte) (string, error) {
 		rec, err := decodeRecord(p)
 		if err != nil {
 			return "", fmt.Errorf("flow: corrupt checkpoint record: %w", err)

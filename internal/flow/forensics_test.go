@@ -213,22 +213,40 @@ func TestQuarantineBundleRoundTrip(t *testing.T) {
 	}
 }
 
-// TestQuarantineWriteFailureFailsRun: a quarantine directory that cannot
-// be created fails the run, like a checkpoint append failure would —
-// losing the forensics silently defeats their purpose.
-func TestQuarantineWriteFailureFailsRun(t *testing.T) {
-	blocker := filepath.Join(t.TempDir(), "not-a-dir")
-	if err := os.WriteFile(blocker, []byte("x"), 0o644); err != nil {
-		t.Fatal(err)
+// TestQuarantineWriteFailureDegrades: a quarantine directory that cannot
+// be created loses that tile's forensics — counted in
+// Result.QuarantineDropped — but never the tile or the run. StrictStorage
+// restores the old fail-fast policy for callers that prefer it.
+func TestQuarantineWriteFailureDegrades(t *testing.T) {
+	mkCfg := func() Config {
+		blocker := filepath.Join(t.TempDir(), "not-a-dir")
+		if err := os.WriteFile(blocker, []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		cfg := faultConfig()
+		cfg.Optimize = ruleFallback()
+		cfg.Fallback = nil
+		cfg.TileRetries = 0
+		cfg.QuarantineDir = filepath.Join(blocker, "sub") // MkdirAll must fail
+		cfg.Faults = FaultPlan{0: {{Panic: true}}}
+		return cfg
 	}
-	cfg := faultConfig()
-	cfg.Optimize = ruleFallback()
-	cfg.Fallback = nil
-	cfg.TileRetries = 0
-	cfg.QuarantineDir = filepath.Join(blocker, "sub") // MkdirAll must fail
-	cfg.Faults = FaultPlan{0: {{Panic: true}}}
-	if _, err := Run(bigLayout(), cfg); err == nil || !strings.Contains(err.Error(), "quarantine") {
-		t.Fatalf("err = %v, want quarantine write failure", err)
+
+	res, err := Run(bigLayout(), mkCfg())
+	if err != nil {
+		t.Fatalf("quarantine write failure must not fail the run: %v", err)
+	}
+	if res.Empty != 1 || res.QuarantineDropped != 1 {
+		t.Fatalf("want 1 empty tile with 1 dropped bundle, got empty=%d dropped=%d", res.Empty, res.QuarantineDropped)
+	}
+	if res.TileStats[0].Bundle != "" {
+		t.Fatalf("dropped bundle must not be recorded as saved: %q", res.TileStats[0].Bundle)
+	}
+
+	strict := mkCfg()
+	strict.StrictStorage = true
+	if _, err := Run(bigLayout(), strict); err == nil || !strings.Contains(err.Error(), "quarantine") {
+		t.Fatalf("err = %v, want quarantine write failure under StrictStorage", err)
 	}
 }
 

@@ -29,6 +29,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"cfaopc/internal/iox"
 	"cfaopc/internal/layout"
 	"cfaopc/internal/optics"
 )
@@ -161,15 +162,22 @@ func (b *Bundle) Validate() error {
 // BaseName is the deterministic file stem for a tile's bundle.
 func BaseName(tileIndex int) string { return fmt.Sprintf("tile%04d", tileIndex) }
 
-// Save writes b under dir as <tileNNNN>.qrb (CRC-guarded gob) plus a
+// Save writes b on the real filesystem; see SaveFS.
+func Save(dir string, b *Bundle) (string, error) {
+	return SaveFS(nil, dir, b)
+}
+
+// SaveFS writes b under dir as <tileNNNN>.qrb (CRC-guarded gob) plus a
 // <tileNNNN>.json sidecar, overwriting previous bundles for the same
 // tile, and returns the .qrb path. Writes go through a temp file +
-// rename so a crash mid-save never leaves a torn bundle behind.
-func Save(dir string, b *Bundle) (string, error) {
+// fsync + rename + parent-dir fsync so a crash mid-save never leaves a
+// torn bundle behind and a saved bundle survives power loss.
+func SaveFS(fsys iox.FS, dir string, b *Bundle) (string, error) {
+	fsys = iox.OrOS(fsys)
 	if err := b.Validate(); err != nil {
 		return "", err
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return "", fmt.Errorf("quarantine: %w", err)
 	}
 	payload, err := encodeGob(b)
@@ -189,14 +197,14 @@ func Save(dir string, b *Bundle) (string, error) {
 
 	base := filepath.Join(dir, BaseName(b.Tile.Index))
 	path := base + ".qrb"
-	if err := atomicWrite(path, framed); err != nil {
+	if err := iox.AtomicWrite(fsys, path, framed, 0o644); err != nil {
 		return "", fmt.Errorf("quarantine: %w", err)
 	}
 	side, err := json.MarshalIndent(b.sidecar(), "", "  ")
 	if err != nil {
 		return "", fmt.Errorf("quarantine: sidecar: %w", err)
 	}
-	if err := atomicWrite(base+".json", append(side, '\n')); err != nil {
+	if err := iox.AtomicWrite(fsys, base+".json", append(side, '\n'), 0o644); err != nil {
 		return "", fmt.Errorf("quarantine: %w", err)
 	}
 	return path, nil
@@ -248,12 +256,4 @@ func (b *Bundle) sidecar() any {
 		*Bundle
 		TargetOccupiedPx int
 	}{&c, occupied}
-}
-
-func atomicWrite(path string, data []byte) error {
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
-		return err
-	}
-	return os.Rename(tmp, path)
 }

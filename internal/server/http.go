@@ -87,7 +87,15 @@ func NewHandler(m *Manager) http.Handler {
 		http.ServeFile(w, r, m.ShotsPath(id))
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "queued": m.QueueDepth()})
+		// "ok" is liveness; "storage" is the degradation snapshot. A
+		// daemon with a dead jobs.log still answers — it just rejects
+		// new submissions — and the storage section is how an operator
+		// tells the two apart.
+		writeJSON(w, http.StatusOK, map[string]any{
+			"ok":      true,
+			"queued":  m.QueueDepth(),
+			"storage": m.StorageHealth(),
+		})
 	})
 	return mux
 }
@@ -141,6 +149,14 @@ func serveEvents(m *Manager, w http.ResponseWriter, r *http.Request) {
 			}
 		}
 		if terminal {
+			return
+		}
+		if sub.isShut() {
+			// The hub ended the stream without a terminal event — the
+			// event journal died, or the daemon is shutting down. End the
+			// stream after the drain above; the client polls the job
+			// status or reconnects rather than waiting for a seq that
+			// will never come.
 			return
 		}
 		select {
@@ -229,7 +245,10 @@ func serveMask(m *Manager, w http.ResponseWriter, r *http.Request) {
 				return
 			}
 		}
-		if done {
+		if done || sub.isShut() {
+			// isShut without a terminal event means the stream died with
+			// the event journal; the rows served so far are all the rows
+			// this follower will ever be told are safe.
 			return
 		}
 		select {

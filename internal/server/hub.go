@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"cfaopc/internal/checkpoint"
+	"cfaopc/internal/iox"
 )
 
 // JobEvent is one entry in a job's progress stream, as serialized to
@@ -51,13 +52,19 @@ type hub struct {
 	journal *checkpoint.Journal // nil once closed
 	history []JobEvent          // full stream; history[i].Seq == i+1
 	subs    map[*subscriber]struct{}
+	closed  bool // no further events will ever be published
 }
 
-// newHub opens (or reopens) the job's event journal and rebuilds the
+// newHub opens the hub on the real filesystem; see newHubFS.
+func newHub(path, jobID string, spec *JobSpec) (*hub, error) {
+	return newHubFS(nil, path, jobID, spec)
+}
+
+// newHubFS opens (or reopens) the job's event journal and rebuilds the
 // in-memory history from it, so seq numbering continues where a killed
 // daemon stopped.
-func newHub(path, jobID string, spec *JobSpec) (*hub, error) {
-	journal, payloads, err := checkpoint.Open(path, eventJournalHeader(jobID, spec))
+func newHubFS(fsys iox.FS, path, jobID string, spec *JobSpec) (*hub, error) {
+	journal, payloads, err := checkpoint.OpenFS(fsys, path, eventJournalHeader(jobID, spec))
 	if err != nil {
 		return nil, fmt.Errorf("event journal: %w", err)
 	}
@@ -77,11 +84,16 @@ func newHub(path, jobID string, spec *JobSpec) (*hub, error) {
 	return h, nil
 }
 
-// readHistory replays a finished job's event journal without taking
+// readHistory reads on the real filesystem; see readHistoryFS.
+func readHistory(path, jobID string, spec *JobSpec) ([]JobEvent, error) {
+	return readHistoryFS(nil, path, jobID, spec)
+}
+
+// readHistoryFS replays a finished job's event journal without taking
 // the append handle — the restart path for jobs that need no new
 // events.
-func readHistory(path, jobID string, spec *JobSpec) ([]JobEvent, error) {
-	payloads, err := checkpoint.Read(path, eventJournalHeader(jobID, spec))
+func readHistoryFS(fsys iox.FS, path, jobID string, spec *JobSpec) ([]JobEvent, error) {
+	payloads, err := checkpoint.ReadFS(fsys, path, eventJournalHeader(jobID, spec))
 	if err != nil {
 		return nil, err
 	}
@@ -96,11 +108,16 @@ func readHistory(path, jobID string, spec *JobSpec) ([]JobEvent, error) {
 	return evs, nil
 }
 
-// publish assigns the next seq, makes the event durable, and fans it
-// out. It returns the stored event. On a closed hub (shutdown racing a
-// late event) the journal write is skipped but the in-memory stream
-// stays coherent.
-func (h *hub) publish(ev JobEvent) JobEvent {
+// publish assigns the next seq, makes the event durable, and only then
+// fans it out. Durability before visibility is absolute: if the append
+// or the fsync fails, the event never reaches the history or any
+// subscriber and publish returns the error — so every Seq a client has
+// ever observed is on disk and replays exactly after a crash. A failed
+// journal stays failed (checkpoint poisoning), so the caller must
+// treat a publish error as the end of this job's event stream. On a
+// closed hub (shutdown racing a late event) the journal write is
+// skipped but the in-memory stream stays coherent.
+func (h *hub) publish(ev JobEvent) (JobEvent, error) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	ev.Seq = int64(len(h.history)) + 1
@@ -109,17 +126,29 @@ func (h *hub) publish(ev JobEvent) JobEvent {
 		panic("server: marshal JobEvent failed: " + err.Error())
 	}
 	if h.journal != nil {
-		if err := h.journal.Append(payload); err == nil {
-			// Durability before visibility: a Seq no client has seen may
-			// be lost to a crash, but a Seq a client has seen never is.
-			h.journal.Sync()
+		if err := h.journal.Append(payload); err != nil {
+			return JobEvent{}, fmt.Errorf("event journal: %w", err)
+		}
+		if err := h.journal.Sync(); err != nil {
+			return JobEvent{}, fmt.Errorf("event journal: %w", err)
 		}
 	}
 	h.history = append(h.history, ev)
 	for sub := range h.subs {
 		sub.offer(ev)
 	}
-	return ev
+	return ev, nil
+}
+
+// journalSize reports the event journal's on-disk byte size (0 once
+// closed), for storage-health reporting.
+func (h *hub) journalSize() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.journal == nil {
+		return 0
+	}
+	return h.journal.Size()
 }
 
 // lastSeq returns the seq of the newest published event (0 if none).
@@ -149,6 +178,11 @@ func (h *hub) subscribe(sinceSeq int64, capacity int) *subscriber {
 		sub.buf = append(sub.buf, h.history[sinceSeq:]...)
 		sub.notify <- struct{}{}
 	}
+	if h.closed {
+		// The stream already ended; tell the consumer so it drains the
+		// replay and stops waiting instead of hanging on a dead doorbell.
+		sub.shut()
+	}
 	h.subs[sub] = struct{}{}
 	h.mu.Unlock()
 	return sub
@@ -160,14 +194,22 @@ func (h *hub) unsubscribe(sub *subscriber) {
 	h.mu.Unlock()
 }
 
-// close releases the journal handle. The history stays readable, so
-// late subscribers to a finished job still replay the full stream.
+// close releases the journal handle and marks the stream ended. The
+// history stays readable, so late subscribers to a finished job still
+// replay the full stream. Every live subscriber is woken and marked
+// shut: if the stream ended without a terminal event (the event
+// journal failed before one could be made durable), consumers must not
+// wait forever for a seq that will never come.
 func (h *hub) close() {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if h.journal != nil {
 		h.journal.Close()
 		h.journal = nil
+	}
+	h.closed = true
+	for sub := range h.subs {
+		sub.shut()
 	}
 }
 
@@ -180,6 +222,7 @@ type subscriber struct {
 	buf     []JobEvent // oldest first, len <= cap
 	cap     int
 	dropped int64
+	closed  bool // the hub ended the stream; nothing further will arrive
 	notify  chan struct{}
 }
 
@@ -211,3 +254,23 @@ func (s *subscriber) drain() (evs []JobEvent, dropped int64) {
 
 // wait returns a channel that receives after the next offer.
 func (s *subscriber) wait() <-chan struct{} { return s.notify }
+
+// shut marks the stream ended and rings the doorbell so a waiting
+// consumer re-checks. Buffered events stay drainable; a consumer that
+// drains to empty while shut knows no more will ever arrive.
+func (s *subscriber) shut() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	select {
+	case s.notify <- struct{}{}:
+	default:
+	}
+}
+
+// isShut reports whether the hub has ended this subscriber's stream.
+func (s *subscriber) isShut() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}

@@ -108,7 +108,10 @@ func TestHubRestartContinuesSeq(t *testing.T) {
 	if h2.lastSeq() != 5 {
 		t.Fatalf("restarted hub lastSeq %d, want 5", h2.lastSeq())
 	}
-	ev := h2.publish(JobEvent{Kind: "state", State: "running"})
+	ev, err := h2.publish(JobEvent{Kind: "state", State: "running"})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if ev.Seq != 6 {
 		t.Fatalf("first post-restart event seq %d, want 6", ev.Seq)
 	}
@@ -252,7 +255,10 @@ func TestHubSeqNeverRegresses(t *testing.T) {
 			t.Fatalf("life %d starts at seq %d, want %d", life, h.lastSeq(), last)
 		}
 		for i := 0; i < 3; i++ {
-			ev := h.publish(JobEvent{Kind: "beat", Tile: life, Iter: i})
+			ev, err := h.publish(JobEvent{Kind: "beat", Tile: life, Iter: i})
+			if err != nil {
+				t.Fatal(err)
+			}
 			if ev.Seq != last+1 {
 				t.Fatalf("life %d: seq %d, want %d", life, ev.Seq, last+1)
 			}

@@ -5,14 +5,15 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"os"
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"cfaopc/internal/checkpoint"
 	"cfaopc/internal/flow"
+	"cfaopc/internal/iox"
 )
 
 // JobState is a job's lifecycle position. Terminal states (done,
@@ -81,6 +82,11 @@ type ManagerConfig struct {
 	MaxActive  int    // concurrent running jobs (default 1)
 	QueueCap   int    // max queued jobs (default 64)
 	Now        func() time.Time
+	// FS is the filesystem seam every daemon write goes through —
+	// jobs.log, per-job event journals, flow checkpoints, mask and shot
+	// artifacts. nil means the real filesystem; tests inject fault or
+	// recording filesystems here.
+	FS iox.FS
 }
 
 // Manager owns the job table, the scheduler, and the executor pool. It
@@ -93,6 +99,7 @@ type Manager struct {
 	layoutRoot string
 	maxActive  int
 	now        func() time.Time
+	fsys       iox.FS
 	jobs       map[string]*job
 	order      []string // creation order, for List
 	nextID     int
@@ -102,6 +109,54 @@ type Manager struct {
 	cancel     context.CancelFunc
 	wg         sync.WaitGroup
 	started    bool
+
+	// Storage degradation counters, surfaced by StorageHealth.
+	recordErrs  atomic.Int64 // failed jobs.log appends/syncs
+	eventErrs   atomic.Int64 // terminal events lost to a dead event journal
+	synthEvents int64        // terminal events synthesized during recovery
+}
+
+// StorageHealth is the daemon's storage-degradation snapshot, served
+// under /healthz. A healthy daemon shows growing byte counts and zero
+// everywhere else; any non-empty error or non-zero counter means a
+// journal failed and the affected jobs ended (or will end) cleanly
+// without it.
+type StorageHealth struct {
+	// JobsLogBytes is jobs.log's size; JobsLogErr is the poisoning
+	// error if an append or fsync on it ever failed (the journal is
+	// never retried on the same fd — see internal/checkpoint).
+	JobsLogBytes int64  `json:"jobs_log_bytes"`
+	JobsLogErr   string `json:"jobs_log_err,omitempty"`
+	// EventLogBytes sums the open per-job event journals.
+	EventLogBytes int64 `json:"event_log_bytes"`
+	// RecordErrs counts failed job-state journal writes; EventErrs
+	// counts terminal events that could not be journaled (their jobs'
+	// streams ended without one); SynthEvents counts terminal events
+	// recovery synthesized for jobs whose journal lost theirs.
+	RecordErrs  int64 `json:"record_errs,omitempty"`
+	EventErrs   int64 `json:"event_errs,omitempty"`
+	SynthEvents int64 `json:"synth_events,omitempty"`
+}
+
+// StorageHealth reports the daemon's storage-degradation snapshot.
+func (m *Manager) StorageHealth() StorageHealth {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	sh := StorageHealth{
+		RecordErrs:  m.recordErrs.Load(),
+		EventErrs:   m.eventErrs.Load(),
+		SynthEvents: m.synthEvents,
+	}
+	if m.journal != nil {
+		sh.JobsLogBytes = m.journal.Size()
+		if err := m.journal.Err(); err != nil {
+			sh.JobsLogErr = err.Error()
+		}
+	}
+	for _, j := range m.jobs {
+		sh.EventLogBytes += j.hub.journalSize()
+	}
+	return sh
 }
 
 // ErrNoJob is returned for operations on an unknown job ID.
@@ -125,10 +180,11 @@ func NewManager(cfg ManagerConfig) (*Manager, error) {
 	if cfg.Now == nil {
 		cfg.Now = time.Now
 	}
-	if err := os.MkdirAll(filepath.Join(cfg.DataDir, "jobs"), 0o755); err != nil {
+	fsys := iox.OrOS(cfg.FS)
+	if err := fsys.MkdirAll(filepath.Join(cfg.DataDir, "jobs"), 0o755); err != nil {
 		return nil, err
 	}
-	journal, payloads, err := checkpoint.Open(filepath.Join(cfg.DataDir, "jobs.log"), jobsJournalHeader)
+	journal, payloads, err := checkpoint.OpenFS(fsys, filepath.Join(cfg.DataDir, "jobs.log"), jobsJournalHeader)
 	if err != nil {
 		return nil, fmt.Errorf("server: job journal: %w", err)
 	}
@@ -138,6 +194,7 @@ func NewManager(cfg ManagerConfig) (*Manager, error) {
 		layoutRoot: cfg.LayoutRoot,
 		maxActive:  cfg.MaxActive,
 		now:        cfg.Now,
+		fsys:       fsys,
 		jobs:       map[string]*job{},
 		sched:      newScheduler(cfg.QueueCap),
 		journal:    journal,
@@ -187,24 +244,44 @@ func (m *Manager) recover(payloads [][]byte) error {
 		if rec.State.terminal() {
 			// Finished jobs need no new events: load the history without
 			// taking the journal's append handle.
-			evs, err := readHistory(m.eventPath(id), id, rec.Spec)
+			evs, err := readHistoryFS(m.fsys, m.eventPath(id), id, rec.Spec)
 			if err != nil {
 				return fmt.Errorf("server: job %s: %w", id, err)
 			}
-			j.hub = &hub{history: evs, subs: map[*subscriber]struct{}{}}
+			if n := len(evs); n == 0 || evs[n-1].Kind != "state" || !JobState(evs[n-1].State).terminal() {
+				// A crash (or a dead event journal) between the terminal
+				// jobRecord and its event left the stream unfinished, which
+				// would wedge SSE consumers waiting for the end. Synthesize
+				// the terminal event from the authoritative jobRecord. The
+				// synthesis is deterministic — same record, same history
+				// length, same seq — so every future recovery produces the
+				// identical event and Last-Event-ID replays stay exact.
+				evs = append(evs, JobEvent{
+					Seq: int64(n) + 1, Kind: "state",
+					State: string(rec.State), Error: rec.Error, Shots: rec.Shots,
+				})
+				m.synthEvents++
+			}
+			j.hub = &hub{history: evs, subs: map[*subscriber]struct{}{}, closed: true}
 		} else {
 			// The job was queued or mid-run when the daemon died: reopen
 			// its event journal so seq numbering continues, tell the
 			// stream it is queued again, and requeue it. The flow
 			// checkpoint makes the re-run byte-identical.
-			h, err := newHub(m.eventPath(id), id, rec.Spec)
+			h, err := newHubFS(m.fsys, m.eventPath(id), id, rec.Spec)
 			if err != nil {
 				return fmt.Errorf("server: job %s: %w", id, err)
 			}
 			j.hub = h
 			j.state = JobQueued
-			m.appendRecord(jobRecord{ID: id, State: JobQueued, Time: m.now()})
-			h.publish(JobEvent{Kind: "state", State: string(JobQueued)})
+			if err := m.appendRecord(jobRecord{ID: id, State: JobQueued, Time: m.now()}); err != nil {
+				h.close()
+				return fmt.Errorf("server: requeue %s: %w", id, err)
+			}
+			if _, err := h.publish(JobEvent{Kind: "state", State: string(JobQueued)}); err != nil {
+				h.close()
+				return fmt.Errorf("server: requeue %s: %w", id, err)
+			}
 			if err := m.sched.enqueue(id, rec.Spec.Tenant, rec.Spec.Priority); err != nil {
 				return fmt.Errorf("server: requeue %s: %w", id, err)
 			}
@@ -260,21 +337,39 @@ func (m *Manager) Submit(spec *JobSpec) (JobStatus, error) {
 	if err := m.sched.enqueue(id, spec.Tenant, spec.Priority); err != nil {
 		return JobStatus{}, err
 	}
-	if err := os.MkdirAll(m.jobDir(id), 0o755); err != nil {
+	if err := m.fsys.MkdirAll(m.jobDir(id), 0o755); err != nil {
 		m.sched.cancel(id)
 		return JobStatus{}, err
 	}
-	h, err := newHub(m.eventPath(id), id, spec)
+	h, err := newHubFS(m.fsys, m.eventPath(id), id, spec)
 	if err != nil {
 		m.sched.cancel(id)
 		return JobStatus{}, err
+	}
+	// Storage before visibility: the queued event and the queued record
+	// must both be durable before the job exists anywhere a client can
+	// see it. On failure the submission is rejected whole — queue slot
+	// released, journal handle closed, the orphaned event journal
+	// removed (best-effort) so a future job reusing the ID starts
+	// fresh. The event goes first: an events.log with no jobs.log
+	// record is an ignorable orphan at recovery, whereas a jobs.log
+	// record for a rejected job would resurrect it.
+	reject := func(err error) (JobStatus, error) {
+		m.sched.cancel(id)
+		h.close()
+		m.fsys.Remove(m.eventPath(id))
+		return JobStatus{}, err
+	}
+	if _, err := h.publish(JobEvent{Kind: "state", State: string(JobQueued)}); err != nil {
+		return reject(err)
+	}
+	if err := m.appendRecord(jobRecord{ID: id, State: JobQueued, Spec: spec, Time: m.now()}); err != nil {
+		return reject(fmt.Errorf("job journal: %w", err))
 	}
 	m.nextID++
 	j := &job{id: id, spec: spec, state: JobQueued, hub: h}
 	m.jobs[id] = j
 	m.order = append(m.order, id)
-	m.appendRecord(jobRecord{ID: id, State: JobQueued, Spec: spec, Time: m.now()})
-	h.publish(JobEvent{Kind: "state", State: string(JobQueued)})
 	return m.statusLocked(j), nil
 }
 
@@ -389,8 +484,23 @@ func (m *Manager) runJob(id string) {
 	ctx, stop := context.WithCancel(m.ctx)
 	j.state = JobRunning
 	j.stopRun = stop
-	m.appendRecord(jobRecord{ID: id, State: JobRunning, Time: m.now()})
-	j.hub.publish(JobEvent{Kind: "state", State: string(JobRunning)})
+	// A job whose state transitions cannot be journaled must not run:
+	// fail it cleanly before any work starts. finishLocked's own writes
+	// are best-effort against the same (likely poisoned) journals.
+	if err := m.appendRecord(jobRecord{ID: id, State: JobRunning, Time: m.now()}); err != nil {
+		j.stopRun = nil
+		stop()
+		m.finishLocked(j, JobFailed, "job journal: "+err.Error(), 0)
+		m.mu.Unlock()
+		return
+	}
+	if _, err := j.hub.publish(JobEvent{Kind: "state", State: string(JobRunning)}); err != nil {
+		j.stopRun = nil
+		stop()
+		m.finishLocked(j, JobFailed, err.Error(), 0)
+		m.mu.Unlock()
+		return
+	}
 	spec, h := j.spec, j.hub
 	m.mu.Unlock()
 	defer stop()
@@ -414,23 +524,41 @@ func (m *Manager) runJob(id string) {
 }
 
 // execute runs the spec with the daemon's plumbing: per-job paths and
-// a flow event bridge into the hub.
+// a flow event bridge into the hub. A publish failure anywhere in the
+// bridge means the event journal is dead (poisoned — every later
+// publish would fail too), so the run is canceled immediately and the
+// journal error, not the resulting context cancellation, is returned.
 func (m *Manager) execute(ctx context.Context, id string, spec *JobSpec, h *hub) (*flow.Result, error) {
 	l, err := spec.ResolveLayout(m.layoutRoot)
 	if err != nil {
 		return nil, err
 	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var evMu sync.Mutex
+	var evErr error
+	pub := func(ev JobEvent) {
+		if _, err := h.publish(ev); err != nil {
+			evMu.Lock()
+			if evErr == nil {
+				evErr = err
+				cancel()
+			}
+			evMu.Unlock()
+		}
+	}
 	dir := m.jobDir(id)
 	opts := RunOpts{
+		FS:         m.fsys,
 		Checkpoint: filepath.Join(dir, "flow.ckpt"),
 		MaskPath:   m.MaskPath(id),
 		ShotsPath:  m.ShotsPath(id),
 		Events: func(ev flow.Event) {
 			switch ev.Kind {
 			case flow.EventBeat:
-				h.publish(JobEvent{Kind: "beat", Tile: ev.Tile, Iter: ev.Iter, Loss: ev.Loss})
+				pub(JobEvent{Kind: "beat", Tile: ev.Tile, Iter: ev.Iter, Loss: ev.Loss})
 			case flow.EventTile:
-				h.publish(JobEvent{
+				pub(JobEvent{
 					Kind: "tile", Tile: ev.Tile, Shots: ev.Stat.Shots,
 					Resumed: ev.Stat.Resumed, CacheHit: ev.Stat.CacheHit,
 					Path: string(ev.Stat.Path),
@@ -438,20 +566,38 @@ func (m *Manager) execute(ctx context.Context, id string, spec *JobSpec, h *hub)
 			}
 		},
 		OnBand: func(row, rows int) {
-			h.publish(JobEvent{Kind: "band", Row: row, Rows: rows})
+			pub(JobEvent{Kind: "band", Row: row, Rows: rows})
 		},
 	}
-	return RunSpec(ctx, l, spec, opts)
+	res, err := RunSpec(ctx, l, spec, opts)
+	evMu.Lock()
+	ferr := evErr
+	evMu.Unlock()
+	if ferr != nil {
+		return res, ferr
+	}
+	return res, err
 }
 
 // finishLocked moves a job to a terminal state: journal record, final
 // state event, event journal released. Callers hold m.mu.
+//
+// Storage failures here are counted, not fatal — the job is ending
+// regardless. The record goes first: the stream must never claim a
+// terminal state jobs.log does not have. If the record fails, no
+// terminal event is published at all (jobs.log still says running, so
+// the next daemon requeues and re-runs the job from its checkpoint)
+// and closing the hub ends every subscriber's stream instead. If only
+// the event fails, recovery synthesizes it from the durable record.
 func (m *Manager) finishLocked(j *job, state JobState, errMsg string, shots int) {
 	j.state = state
 	j.errMsg = errMsg
 	j.shots = shots
-	m.appendRecord(jobRecord{ID: j.id, State: state, Error: errMsg, Shots: shots, Time: m.now()})
-	j.hub.publish(JobEvent{Kind: "state", State: string(state), Error: errMsg, Shots: shots})
+	if err := m.appendRecord(jobRecord{ID: j.id, State: state, Error: errMsg, Shots: shots, Time: m.now()}); err == nil {
+		if _, err := j.hub.publish(JobEvent{Kind: "state", State: string(state), Error: errMsg, Shots: shots}); err != nil {
+			m.eventErrs.Add(1)
+		}
+	}
 	j.hub.close()
 }
 
@@ -463,17 +609,26 @@ func (m *Manager) statusLocked(j *job) JobStatus {
 	}
 }
 
-// appendRecord journals one job-state transition durably. Callers hold
-// m.mu (or are inside NewManager, before the manager escapes).
-func (m *Manager) appendRecord(rec jobRecord) {
+// appendRecord journals one job-state transition durably, returning
+// the append or fsync error; either poisons jobs.log (see
+// internal/checkpoint), so after one failure every later call fails
+// too. Callers hold m.mu (or are inside NewManager, before the
+// manager escapes).
+func (m *Manager) appendRecord(rec jobRecord) error {
 	payload, err := json.Marshal(rec)
 	if err != nil {
 		panic("server: marshal jobRecord failed: " + err.Error())
 	}
 	if m.journal == nil {
-		return
+		return nil
 	}
-	if err := m.journal.Append(payload); err == nil {
-		m.journal.Sync()
+	if err := m.journal.Append(payload); err != nil {
+		m.recordErrs.Add(1)
+		return err
 	}
+	if err := m.journal.Sync(); err != nil {
+		m.recordErrs.Add(1)
+		return err
+	}
+	return nil
 }

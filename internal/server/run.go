@@ -4,12 +4,12 @@ import (
 	"bufio"
 	"context"
 	"fmt"
-	"os"
 
 	"cfaopc/internal/engine"
 	"cfaopc/internal/flow"
 	"cfaopc/internal/fracture"
 	"cfaopc/internal/grid"
+	"cfaopc/internal/iox"
 	"cfaopc/internal/layout"
 	"cfaopc/internal/optics"
 )
@@ -38,6 +38,10 @@ type RunOpts struct {
 	// Drain, when closed, stops dispatching new tiles; in-flight tiles
 	// finish and checkpoint, and the run returns flow.ErrDrained.
 	Drain <-chan struct{}
+	// FS is the filesystem seam every artifact write goes through —
+	// the flow checkpoint, quarantine bundles, the streamed mask PGM,
+	// and the shot CSV. nil means the real filesystem.
+	FS iox.FS
 }
 
 // RunSpec executes a normalized job spec through the tiled flow. It is
@@ -65,6 +69,7 @@ func RunSpec(ctx context.Context, l *layout.Layout, spec *JobSpec, o RunOpts) (*
 		RMinPx:         6 / dx,
 		RMaxPx:         152 / dx,
 		CheckpointPath: o.Checkpoint,
+		FS:             o.FS,
 		PartialEvery:   spec.PartialEvery,
 		KeepMask:       false, // the service product is shots + streamed bands
 		Events:         o.Events,
@@ -83,7 +88,7 @@ func RunSpec(ctx context.Context, l *layout.Layout, spec *JobSpec, o RunOpts) (*
 
 	var bands *bandFile
 	if o.MaskPath != "" {
-		bands, err = newBandFile(o.MaskPath, spec.GridN, o.OnBand)
+		bands, err = newBandFile(o.FS, o.MaskPath, spec.GridN, o.OnBand)
 		if err != nil {
 			return nil, err
 		}
@@ -104,11 +109,22 @@ func RunSpec(ctx context.Context, l *layout.Layout, spec *JobSpec, o RunOpts) (*
 	}
 	if o.ShotsPath != "" {
 		shots := fracture.OrderShots(res.Shots)
-		f, err := os.Create(o.ShotsPath)
+		f, err := iox.OrOS(o.FS).Create(o.ShotsPath)
 		if err != nil {
 			return res, err
 		}
-		if err := fracture.WriteShotsCSV(f, shots, dx); err != nil {
+		bw := bufio.NewWriter(f)
+		if err := fracture.WriteShotsCSV(bw, shots, dx); err != nil {
+			f.Close()
+			return res, err
+		}
+		if err := bw.Flush(); err != nil {
+			f.Close()
+			return res, err
+		}
+		// The shot list is the product; it must be on the platter before
+		// the caller records the job done.
+		if err := f.Sync(); err != nil {
 			f.Close()
 			return res, err
 		}
@@ -125,7 +141,7 @@ func RunSpec(ctx context.Context, l *layout.Layout, spec *JobSpec, o RunOpts) (*
 // told about. Bands arrive top-to-bottom; Close verifies every row
 // landed.
 type bandFile struct {
-	f      *os.File
+	f      iox.File
 	w      *bufio.Writer
 	n      int
 	next   int // next expected global row
@@ -133,8 +149,8 @@ type bandFile struct {
 	onBand func(row, rows int)
 }
 
-func newBandFile(path string, n int, onBand func(row, rows int)) (*bandFile, error) {
-	f, err := os.Create(path)
+func newBandFile(fsys iox.FS, path string, n int, onBand func(row, rows int)) (*bandFile, error) {
+	f, err := iox.OrOS(fsys).Create(path)
 	if err != nil {
 		return nil, err
 	}
@@ -182,6 +198,13 @@ func (p *bandFile) Close() error {
 		return fmt.Errorf("pgm: only %d of %d rows streamed", p.next, p.n)
 	}
 	if err := p.w.Flush(); err != nil {
+		p.f.Close()
+		return err
+	}
+	// Per-band flushes make rows visible to followers; this final fsync
+	// makes the finished mask crash-durable before the job is recorded
+	// done.
+	if err := p.f.Sync(); err != nil {
 		p.f.Close()
 		return err
 	}

@@ -18,7 +18,7 @@ import (
 
 func TestBandFileRejectsOutOfOrderBand(t *testing.T) {
 	p := filepath.Join(t.TempDir(), "m.pgm")
-	bf, err := newBandFile(p, 8, nil)
+	bf, err := newBandFile(nil, p, 8, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,7 +33,7 @@ func TestBandFileRejectsOutOfOrderBand(t *testing.T) {
 
 func TestBandFileCloseRequiresAllRows(t *testing.T) {
 	p := filepath.Join(t.TempDir(), "m.pgm")
-	bf, err := newBandFile(p, 8, nil)
+	bf, err := newBandFile(nil, p, 8, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,7 +47,7 @@ func TestBandFileCloseRequiresAllRows(t *testing.T) {
 
 func TestBandFileAbortLeavesPartialFile(t *testing.T) {
 	p := filepath.Join(t.TempDir(), "m.pgm")
-	bf, err := newBandFile(p, 4, nil)
+	bf, err := newBandFile(nil, p, 4, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,7 +65,7 @@ func TestBandFileAbortLeavesPartialFile(t *testing.T) {
 }
 
 func TestNewBandFileBadPath(t *testing.T) {
-	if _, err := newBandFile(filepath.Join(t.TempDir(), "no", "such", "dir", "m.pgm"), 8, nil); err == nil {
+	if _, err := newBandFile(nil, filepath.Join(t.TempDir(), "no", "such", "dir", "m.pgm"), 8, nil); err == nil {
 		t.Fatal("created a band file under a nonexistent directory")
 	}
 }

@@ -33,11 +33,11 @@ import (
 	"fmt"
 	"hash/crc32"
 	"math"
-	"os"
 	"path/filepath"
 	"sync"
 
 	"cfaopc/internal/geom"
+	"cfaopc/internal/iox"
 )
 
 var magic = []byte("CFWC1\n")
@@ -159,6 +159,7 @@ type Config struct {
 	MaxEntries int    // in-memory LRU entry budget (default 4096)
 	MaxBytes   int64  // in-memory LRU byte budget (default 256 MiB)
 	Dir        string // on-disk store directory; "" disables the disk tier
+	FS         iox.FS // filesystem seam for the disk tier; nil = real filesystem
 }
 
 // Stats is a point-in-time counter snapshot.
@@ -172,6 +173,10 @@ type Stats struct {
 	DiskErrs  int64 // best-effort disk writes that failed
 	Entries   int   // current in-memory entries
 	Bytes     int64 // current in-memory bytes
+	// LastDiskErr is the most recent disk-tier failure, "" when the
+	// tier is healthy. Purely diagnostic: every disk fault already
+	// degraded to the memory tier by the time it is recorded here.
+	LastDiskErr string
 }
 
 type lruItem struct {
@@ -184,7 +189,8 @@ type lruItem struct {
 // concurrent use; disk I/O happens outside the lock so tile workers
 // never serialize on each other's reads.
 type Cache struct {
-	cfg Config
+	cfg  Config
+	fsys iox.FS
 
 	mu    sync.Mutex
 	ll    *list.List
@@ -201,12 +207,13 @@ func New(cfg Config) (*Cache, error) {
 	if cfg.MaxBytes <= 0 {
 		cfg.MaxBytes = 256 << 20
 	}
+	fsys := iox.OrOS(cfg.FS)
 	if cfg.Dir != "" {
-		if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		if err := fsys.MkdirAll(cfg.Dir, 0o755); err != nil {
 			return nil, fmt.Errorf("wcache: %w", err)
 		}
 	}
-	return &Cache{cfg: cfg, ll: list.New(), items: make(map[Key]*list.Element)}, nil
+	return &Cache{cfg: cfg, fsys: fsys, ll: list.New(), items: make(map[Key]*list.Element)}, nil
 }
 
 // Dir returns the disk tier directory ("" when memory-only).
@@ -235,13 +242,13 @@ func (c *Cache) Get(k Key) (*Entry, bool) {
 		c.count(func(s *Stats) { s.Misses++ })
 		return nil, false
 	}
-	e, err := loadEntry(c.path(k))
+	e, err := loadEntry(c.fsys, c.path(k))
 	if err != nil {
-		if !os.IsNotExist(err) {
+		if !iox.IsNotExist(err) {
 			// Corrupt, torn, or nonsensical: degrade to a miss and
 			// delete so the next Put heals the file.
-			os.Remove(c.path(k))
-			c.count(func(s *Stats) { s.BadDisk++ })
+			c.fsys.Remove(c.path(k))
+			c.count(func(s *Stats) { s.BadDisk++; s.LastDiskErr = err.Error() })
 		}
 		c.count(func(s *Stats) { s.Misses++ })
 		return nil, false
@@ -253,16 +260,18 @@ func (c *Cache) Get(k Key) (*Entry, bool) {
 
 // Put stores e under k in the memory tier and, when configured, the
 // disk tier. Disk writes are best-effort (a full disk must not fail the
-// run) and atomic (temp + rename), so readers never observe a torn
-// file. Put never fails.
+// run) and atomic (temp + fsync + rename + parent-dir fsync), so
+// readers never observe a torn file and a surviving file survives power
+// loss. Put never fails: any disk fault degrades the entry to the
+// memory tier and is counted in DiskErrs/LastDiskErr.
 func (c *Cache) Put(k Key, e *Entry) {
 	c.insert(k, e)
 	c.count(func(s *Stats) { s.Puts++ })
 	if c.cfg.Dir == "" {
 		return
 	}
-	if err := writeEntry(c.path(k), e); err != nil {
-		c.count(func(s *Stats) { s.DiskErrs++ })
+	if err := writeEntry(c.fsys, c.path(k), e); err != nil {
+		c.count(func(s *Stats) { s.DiskErrs++; s.LastDiskErr = err.Error() })
 	}
 }
 
@@ -309,8 +318,8 @@ func (c *Cache) Stats() Stats {
 
 // writeEntry frames a gob-encoded entry exactly like a quarantine
 // bundle — magic, payload length, CRC32, payload — and writes it
-// atomically.
-func writeEntry(path string, e *Entry) error {
+// atomically and crash-durably.
+func writeEntry(fsys iox.FS, path string, e *Entry) error {
 	var payload bytes.Buffer
 	if err := gob.NewEncoder(&payload).Encode(e); err != nil {
 		return err
@@ -325,19 +334,15 @@ func writeEntry(path string, e *Entry) error {
 	binary.BigEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload.Bytes()))
 	framed = append(framed, hdr[:]...)
 	framed = append(framed, payload.Bytes()...)
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, framed, 0o644); err != nil {
-		return err
-	}
-	return os.Rename(tmp, path)
+	return iox.AtomicWrite(fsys, path, framed, 0o644)
 }
 
 // loadEntry reads and fully verifies a disk entry. Every failure mode —
 // bad magic, torn tail, length mismatch, CRC failure, gob rot,
 // non-finite shots — comes back as an error the caller turns into a
 // miss.
-func loadEntry(path string) (*Entry, error) {
-	data, err := os.ReadFile(path)
+func loadEntry(fsys iox.FS, path string) (*Entry, error) {
+	data, err := fsys.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}

@@ -217,7 +217,7 @@ func TestInvalidEntryRejectedOnLoad(t *testing.T) {
 	// path) must degrade to a miss too.
 	dir := t.TempDir()
 	path := filepath.Join(dir, string(key("k"))+".wce")
-	if err := writeEntry(path, &Entry{}); err != nil {
+	if err := writeEntry(nil, path, &Entry{}); err != nil {
 		t.Fatal(err)
 	}
 	c, err := New(Config{Dir: dir})
