@@ -7,6 +7,15 @@
 // Jobs queue on a bounded scheduler with priority ordering and
 // per-tenant fairness; -max-active bounds how many run at once.
 //
+// Overload safety: every spec is priced by a deterministic cost model
+// and admitted against -mem-budget-mb (429 + Retry-After past it, 400
+// for jobs bigger than the whole budget); per-job deadline_ms and
+// -queue-ttl expire jobs into the terminal deadline_exceeded state;
+// and a watermark monitor walks a degradation ladder under measured
+// heap pressure (shrink window cache -> pause admissions -> shed the
+// youngest over-budget running job), with a wedge watchdog killing
+// jobs that stop emitting events. See DESIGN.md §9.
+//
 // Every job persists through two journals — the daemon's job-state log
 // and the flow's tile checkpoint — so a daemon killed mid-run (even
 // SIGKILL) restarts with every unfinished job requeued, resumed from
@@ -32,6 +41,7 @@ import (
 	"time"
 
 	"cfaopc/internal/server"
+	"cfaopc/internal/wcache"
 )
 
 func main() {
@@ -44,18 +54,44 @@ func main() {
 		layoutRoot = flag.String("layout-root", ".", "directory job specs resolve layout refs under")
 		maxActive  = flag.Int("max-active", 1, "jobs running concurrently")
 		queueCap   = flag.Int("queue-cap", 64, "queued-job cap; beyond it submissions get 429")
+
+		memBudgetMB = flag.Int64("mem-budget-mb", 2048, "admission memory budget in MiB; jobs are priced by EstimateCost and 429ed past it")
+		heapHighMB  = flag.Int64("heap-high-mb", 0, "heap high watermark in MiB (0 = the budget); crossing it pauses admissions, holding it sheds")
+		heapLowMB   = flag.Int64("heap-low-mb", 0, "heap low watermark in MiB (0 = 3/4 of high); crossing it shrinks the window cache")
+		queueTTL    = flag.Duration("queue-ttl", 0, "max queue wait before a job ends deadline_exceeded (0 = none)")
+		wedgeTO     = flag.Duration("wedge-timeout", 2*time.Minute, "kill running jobs that publish no event for this long (<0 disables)")
+		maxWait     = flag.Duration("max-queue-wait", 5*time.Minute, "anti-starvation bound: queued past this preempts every priority (<0 disables)")
+		monitorTick = flag.Duration("monitor-every", 500*time.Millisecond, "governor pulse interval: watermark sample, deadline sweep, wedge scan")
+		cacheMB     = flag.Int64("cache-mb", 0, "shared window dedup cache memory tier in MiB (0 = off); shrinks under heap pressure")
 	)
 	flag.Parse()
 	if *dataDir == "" {
 		log.Fatal("-data <dir> is required")
 	}
 
-	m, err := server.NewManager(server.ManagerConfig{
+	cfg := server.ManagerConfig{
 		DataDir:    *dataDir,
 		LayoutRoot: *layoutRoot,
 		MaxActive:  *maxActive,
 		QueueCap:   *queueCap,
-	})
+		Governor: server.GovernorConfig{
+			MemBudget: *memBudgetMB << 20,
+			HeapHigh:  *heapHighMB << 20,
+			HeapLow:   *heapLowMB << 20,
+		},
+		QueueTTL:     *queueTTL,
+		WedgeTimeout: *wedgeTO,
+		MaxQueueWait: *maxWait,
+		MonitorEvery: *monitorTick,
+	}
+	if *cacheMB > 0 {
+		cache, err := wcache.New(wcache.Config{MaxBytes: *cacheMB << 20})
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Cache = cache
+	}
+	m, err := server.NewManager(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

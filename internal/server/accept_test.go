@@ -10,6 +10,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -23,6 +24,12 @@ const (
 	daemonEnv     = "CFAOPCD_TEST_DAEMON"
 	daemonDataEnv = "CFAOPCD_TEST_DATA"
 	daemonRootEnv = "CFAOPCD_TEST_ROOT"
+
+	// Overload knobs for the governed acceptance scenarios; unset means
+	// the ManagerConfig default (monitor off, budget default, TTL none).
+	daemonBudgetEnv  = "CFAOPCD_TEST_BUDGET"    // bytes
+	daemonTTLEnv     = "CFAOPCD_TEST_QUEUE_TTL" // duration
+	daemonMonitorEnv = "CFAOPCD_TEST_MONITOR"   // duration
 )
 
 func TestMain(m *testing.M) {
@@ -36,12 +43,34 @@ func TestMain(m *testing.M) {
 // addr file. It never returns; the parent SIGKILLs it.
 func runTestDaemon() {
 	dataDir := os.Getenv(daemonDataEnv)
-	mgr, err := NewManager(ManagerConfig{
+	cfg := ManagerConfig{
 		DataDir:    dataDir,
 		LayoutRoot: os.Getenv(daemonRootEnv),
 		MaxActive:  1,
 		QueueCap:   16,
-	})
+	}
+	if v := os.Getenv(daemonBudgetEnv); v != "" {
+		b, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Governor.MemBudget = b
+	}
+	if v := os.Getenv(daemonTTLEnv); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.QueueTTL = d
+	}
+	if v := os.Getenv(daemonMonitorEnv); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.MonitorEvery = d
+	}
+	mgr, err := NewManager(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -67,12 +96,13 @@ type daemon struct {
 	url string
 }
 
-func startDaemon(t *testing.T, dataDir, root string) *daemon {
+func startDaemon(t *testing.T, dataDir, root string, extraEnv ...string) *daemon {
 	t.Helper()
 	os.Remove(filepath.Join(dataDir, "addr"))
 	cmd := exec.Command(os.Args[0])
 	cmd.Env = append(os.Environ(),
 		daemonEnv+"=1", daemonDataEnv+"="+dataDir, daemonRootEnv+"="+root)
+	cmd.Env = append(cmd.Env, extraEnv...)
 	cmd.Stderr = os.Stderr
 	if err := cmd.Start(); err != nil {
 		t.Fatal(err)

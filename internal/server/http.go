@@ -18,31 +18,77 @@ import (
 // slow reader.
 const sseBufCap = 1024
 
+// SSE keepalive cadence and per-write stall budget. The keepalive
+// comment serves two jobs: it keeps idle connections alive through
+// proxies, and it guarantees a blocked client is *written to* at least
+// every sseKeepalive — which is what arms the write deadline. A client
+// whose TCP window stays closed past sseWriteTimeout gets its write
+// errored by the deadline, ending the handler and freeing the hub ring
+// slot instead of pinning it forever. Vars, not consts: the blocked-
+// reader test tightens them.
+var (
+	sseKeepalive    = 15 * time.Second
+	sseWriteTimeout = 30 * time.Second
+)
+
+// apiError is the structured body every 4xx/5xx JSON error carries.
+// 429s also set the Retry-After header (seconds, rounded up) to the
+// same value as retry_after_ms.
+type apiError struct {
+	Error        string `json:"error"`                    // human-readable message
+	Reason       string `json:"reason"`                   // machine-readable: bad_spec | queue_full | over_budget | admission_paused | job_exceeds_budget | not_found | not_ready
+	RetryAfterMS int64  `json:"retry_after_ms,omitempty"` // when retrying can help
+}
+
+// writeAPIError emits the structured error contract. retryAfter <= 0
+// omits the hint.
+func writeAPIError(w http.ResponseWriter, code int, reason string, err error, retryAfter time.Duration) {
+	body := apiError{Error: err.Error(), Reason: reason}
+	if retryAfter > 0 {
+		body.RetryAfterMS = retryAfter.Milliseconds()
+		secs := int64((retryAfter + time.Second - 1) / time.Second)
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	}
+	writeJSON(w, code, body)
+}
+
 // NewHandler wires the service API around a Manager:
 //
-//	POST /jobs              submit a JobSpec      -> 201 JobStatus (400 bad spec, 429 queue full)
+//	POST /jobs              submit a JobSpec      -> 201 JobStatus (400 bad spec / over whole budget,
+//	                                                 429 queue full / over budget / admissions paused,
+//	                                                 all errors as apiError JSON, 429s with Retry-After)
 //	GET  /jobs              list jobs             -> 200 []JobStatus
 //	GET  /jobs/{id}         job snapshot          -> 200 JobStatus
 //	POST /jobs/{id}/cancel  cancel queued/running -> 200 JobStatus
 //	GET  /jobs/{id}/events  SSE progress stream (Last-Event-ID or ?last= resumes)
 //	GET  /jobs/{id}/mask    the mask PGM, streamed in row bands as they land
 //	GET  /jobs/{id}/shots   the shot-list CSV (409 until done)
-//	GET  /healthz           liveness + queue depth
+//	GET  /healthz           liveness + queue, governor, and storage sections
 func NewHandler(m *Manager) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
 		spec, err := ParseSpec(r.Body)
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
+			writeAPIError(w, http.StatusBadRequest, "bad_spec", err, 0)
 			return
 		}
 		st, err := m.Submit(spec)
+		var admit *AdmitError
 		switch {
 		case errors.Is(err, ErrQueueFull):
-			http.Error(w, err.Error(), http.StatusTooManyRequests)
+			// Queue-full prices waiting with the same drain estimate as
+			// the governor, so every 429 speaks one Retry-After dialect.
+			writeAPIError(w, http.StatusTooManyRequests, "queue_full", err, m.gov.retryAfter())
+			return
+		case errors.As(err, &admit):
+			writeAPIError(w, http.StatusTooManyRequests, admit.Reason, err, admit.RetryAfter)
+			return
+		case errors.Is(err, ErrJobTooBig):
+			// Typed 400: retrying the same spec can never succeed.
+			writeAPIError(w, http.StatusBadRequest, "job_exceeds_budget", err, 0)
 			return
 		case err != nil:
-			http.Error(w, err.Error(), http.StatusBadRequest)
+			writeAPIError(w, http.StatusBadRequest, "bad_spec", err, 0)
 			return
 		}
 		writeJSON(w, http.StatusCreated, st)
@@ -87,14 +133,18 @@ func NewHandler(m *Manager) http.Handler {
 		http.ServeFile(w, r, m.ShotsPath(id))
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		// "ok" is liveness; "storage" is the degradation snapshot. A
-		// daemon with a dead jobs.log still answers — it just rejects
-		// new submissions — and the storage section is how an operator
-		// tells the two apart.
+		// "ok" is liveness; "storage" is the degradation snapshot; "queue"
+		// is the backlog's size and shape; "governor" is the admission
+		// budget and ladder position. A daemon with a dead jobs.log still
+		// answers — it just rejects new submissions — and these sections
+		// are how an operator tells overload, storage failure, and
+		// plain busyness apart.
 		writeJSON(w, http.StatusOK, map[string]any{
-			"ok":      true,
-			"queued":  m.QueueDepth(),
-			"storage": m.StorageHealth(),
+			"ok":       true,
+			"queued":   m.QueueDepth(),
+			"queue":    m.QueueHealth(),
+			"governor": m.GovernorHealth(),
+			"storage":  m.StorageHealth(),
 		})
 	})
 	return mux
@@ -127,8 +177,22 @@ func serveEvents(m *Manager, w http.ResponseWriter, r *http.Request) {
 	rc := http.NewResponseController(w)
 	rc.Flush()
 
+	// Every write batch re-arms a write deadline: a subscriber whose
+	// reads stall (closed TCP window, dead proxy) errors the write
+	// within sseWriteTimeout instead of blocking this handler — and the
+	// deferred Unsubscribe frees its hub ring slot. The keepalive tick
+	// guarantees a write happens at least every sseKeepalive even on an
+	// idle stream, so a stalled client is always detected within
+	// sseKeepalive + sseWriteTimeout.
+	keep := time.NewTicker(sseKeepalive)
+	defer keep.Stop()
+	armWrite := func() { rc.SetWriteDeadline(time.Now().Add(sseWriteTimeout)) }
+
 	for {
 		evs, dropped := sub.drain()
+		if len(evs) > 0 || dropped > 0 {
+			armWrite()
+		}
 		if dropped > 0 {
 			fmt.Fprintf(w, ": %d events dropped; reconnect with Last-Event-ID for an exact replay\n\n", dropped)
 		}
@@ -138,7 +202,9 @@ func serveEvents(m *Manager, w http.ResponseWriter, r *http.Request) {
 			if err != nil {
 				return
 			}
-			fmt.Fprintf(w, "id: %d\ndata: %s\n\n", ev.Seq, payload)
+			if _, err := fmt.Fprintf(w, "id: %d\ndata: %s\n\n", ev.Seq, payload); err != nil {
+				return
+			}
 			if ev.Kind == "state" && JobState(ev.State).terminal() {
 				terminal = true
 			}
@@ -163,6 +229,14 @@ func serveEvents(m *Manager, w http.ResponseWriter, r *http.Request) {
 		case <-r.Context().Done():
 			return
 		case <-sub.wait():
+		case <-keep.C:
+			armWrite()
+			if _, err := io.WriteString(w, ": keepalive\n\n"); err != nil {
+				return
+			}
+			if err := rc.Flush(); err != nil {
+				return
+			}
 		}
 	}
 }
@@ -181,7 +255,7 @@ func serveMask(m *Manager, w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusNotFound)
 		return
 	}
-	if st.State == JobFailed || st.State == JobCanceled {
+	if st.State == JobFailed || st.State == JobCanceled || st.State == JobDeadline {
 		http.Error(w, fmt.Sprintf("job %s is %s; no complete mask", id, st.State), http.StatusConflict)
 		return
 	}

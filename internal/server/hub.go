@@ -16,10 +16,17 @@ import (
 // authoritative history and new events continue after its tail.
 type JobEvent struct {
 	Seq  int64  `json:"seq"`
-	Kind string `json:"kind"` // state | beat | tile | band
+	Kind string `json:"kind"` // state | beat | tile | band | governor
 
-	State string `json:"state,omitempty"` // kind=state: queued|running|done|failed|canceled
+	// kind=state: queued|running|done|failed|canceled|deadline_exceeded.
+	// kind=governor: the degradation-ladder level just entered
+	// (normal|shrink|pause|shed) — every live job's stream carries the
+	// transition so subscribers see pressure changes in-band.
+	State string `json:"state,omitempty"`
 	Error string `json:"error,omitempty"` // kind=state, failed only
+
+	From string `json:"from,omitempty"` // kind=governor: level just left
+	Heap int64  `json:"heap,omitempty"` // kind=governor: heap bytes that triggered it
 
 	Tile     int     `json:"tile,omitempty"`      // kind=beat|tile
 	Iter     int     `json:"iter,omitempty"`      // kind=beat
@@ -142,6 +149,14 @@ func (h *hub) publish(ev JobEvent) (JobEvent, error) {
 
 // journalSize reports the event journal's on-disk byte size (0 once
 // closed), for storage-health reporting.
+// subscriberCount reports the live subscriber count — the SSE layer's
+// stalled-client drop test asserts it returns to zero.
+func (h *hub) subscriberCount() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.subs)
+}
+
 func (h *hub) journalSize() int64 {
 	h.mu.Lock()
 	defer h.mu.Unlock()

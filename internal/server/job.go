@@ -14,10 +14,13 @@ import (
 	"cfaopc/internal/checkpoint"
 	"cfaopc/internal/flow"
 	"cfaopc/internal/iox"
+	"cfaopc/internal/layout"
+	"cfaopc/internal/wcache"
 )
 
 // JobState is a job's lifecycle position. Terminal states (done,
-// failed, canceled) never change again — not even across restarts.
+// failed, canceled, deadline_exceeded) never change again — not even
+// across restarts.
 type JobState string
 
 const (
@@ -26,11 +29,24 @@ const (
 	JobDone     JobState = "done"
 	JobFailed   JobState = "failed"
 	JobCanceled JobState = "canceled"
+	// JobDeadline means the job's DeadlineMS or the daemon's queue TTL
+	// expired before the job finished. Its flow checkpoint is
+	// preserved: resubmitting the same spec against the same data
+	// directory resumes from the completed tiles.
+	JobDeadline JobState = "deadline_exceeded"
 )
 
 func (s JobState) terminal() bool {
-	return s == JobDone || s == JobFailed || s == JobCanceled
+	return s == JobDone || s == JobFailed || s == JobCanceled || s == JobDeadline
 }
+
+// Cancellation causes, threaded through context.Cause so the executor
+// can type the terminal state after flow.RunContext unwinds.
+var (
+	errDeadlineCause = errors.New("job deadline exceeded")
+	errWedgeCause    = errors.New("job wedged: no events within the watchdog window")
+	errShedCause     = errors.New("job shed under memory pressure")
+)
 
 // jobsJournalHeader fingerprints the daemon's job-state journal.
 var jobsJournalHeader = []byte("cfaopcd-jobs-v1")
@@ -58,10 +74,16 @@ type JobStatus struct {
 	Error    string   `json:"error,omitempty"`
 	Shots    int      `json:"shots,omitempty"`
 	LastSeq  int64    `json:"last_seq"` // newest published event seq
+	// CostBytes is the governor's admitted peak-memory estimate.
+	CostBytes int64 `json:"cost_bytes,omitempty"`
+	// DeadlineUnixMS is the absolute wall-clock deadline (per-job
+	// DeadlineMS and/or queue TTL, whichever is sooner), 0 when none.
+	DeadlineUnixMS int64 `json:"deadline_unix_ms,omitempty"`
 }
 
 // job is the manager's in-memory record of one job. The manager lock
-// guards every field; the hub has its own lock for the event stream.
+// guards every field except lastEv; the hub has its own lock for the
+// event stream.
 type job struct {
 	id       string
 	spec     *JobSpec
@@ -70,7 +92,30 @@ type job struct {
 	shots    int
 	hub      *hub
 	canceled bool // cancel requested (may still be dispatching)
-	stopRun  context.CancelFunc
+	wedged   bool // wedge watchdog fired (counted once)
+	stopRun  context.CancelCauseFunc
+	cost     Cost
+	// deadlineAt is the job's absolute deadline (zero = none),
+	// anchored at the first journaled record's timestamp so it
+	// survives restarts; ttlAt bounds the queue wait the same way.
+	deadlineAt time.Time
+	ttlAt      time.Time
+	// lastEv is the unix-nano timestamp of the job's newest published
+	// event, written by the executor's event bridge and read by the
+	// wedge watchdog — atomic so beats never take the manager lock.
+	lastEv atomic.Int64
+}
+
+// dispatchDeadline returns the job's effective dispatch-time deadline:
+// the sooner of the per-job deadline and the queue TTL (a job the TTL
+// expired on while queued must not start just because dispatch raced
+// the sweep). Zero when neither applies.
+func (j *job) dispatchDeadline() time.Time {
+	d := j.deadlineAt
+	if !j.ttlAt.IsZero() && (d.IsZero() || j.ttlAt.Before(d)) {
+		d = j.ttlAt
+	}
+	return d
 }
 
 // ManagerConfig configures a Manager. DataDir is required; it holds
@@ -87,6 +132,32 @@ type ManagerConfig struct {
 	// artifacts. nil means the real filesystem; tests inject fault or
 	// recording filesystems here.
 	FS iox.FS
+
+	// Governor sizes the admission budget and pressure watermarks.
+	Governor GovernorConfig
+	// QueueTTL bounds how long a job may wait in the queue before it
+	// ends deadline_exceeded (anchored at first admission, surviving
+	// restarts). 0 disables the TTL.
+	QueueTTL time.Duration
+	// WedgeTimeout is the job-level watchdog: a running job that
+	// publishes no event (state, beat, tile, band) for this long is
+	// killed as wedged. Distinct from the flow's per-tile stall
+	// detector, which only sees iterations inside one engine call —
+	// this one catches jobs that stop emitting anything at all.
+	// 0 defaults to 2m; <0 disables.
+	WedgeTimeout time.Duration
+	// MonitorEvery is the governor pulse interval (watermark sample,
+	// deadline sweep, wedge scan). 0 disables the background monitor —
+	// the daemon turns it on explicitly; tests drive Pulse directly.
+	MonitorEvery time.Duration
+	// MaxQueueWait is the scheduler's anti-starvation bound: a job
+	// queued longer than this preempts every priority. 0 defaults to
+	// 5m; <0 disables.
+	MaxQueueWait time.Duration
+	// Cache is the shared window dedup cache given to every job run
+	// (nil = uncached). Under memory pressure the governor shrinks its
+	// memory tier and restores it when pressure recedes.
+	Cache *wcache.Cache
 }
 
 // Manager owns the job table, the scheduler, and the executor pool. It
@@ -109,6 +180,19 @@ type Manager struct {
 	cancel     context.CancelFunc
 	wg         sync.WaitGroup
 	started    bool
+
+	gov          *governor
+	queueTTL     time.Duration
+	wedgeTimeout time.Duration
+	monitorEvery time.Duration
+	cache        *wcache.Cache
+	// Full-size cache budgets, saved so the shrink rung can restore them.
+	cacheEntries0 int
+	cacheBytes0   int64
+	// runSpec is the executor seam, RunSpec in production. Tests swap
+	// in stand-ins (a silent blocker for the wedge watchdog, a slow
+	// canceler for shed/deadline paths) without heavy compute.
+	runSpec func(ctx context.Context, l *layout.Layout, spec *JobSpec, opts RunOpts) (*flow.Result, error)
 
 	// Storage degradation counters, surfaced by StorageHealth.
 	recordErrs  atomic.Int64 // failed jobs.log appends/syncs
@@ -180,6 +264,12 @@ func NewManager(cfg ManagerConfig) (*Manager, error) {
 	if cfg.Now == nil {
 		cfg.Now = time.Now
 	}
+	if cfg.WedgeTimeout == 0 {
+		cfg.WedgeTimeout = 2 * time.Minute
+	}
+	if cfg.MaxQueueWait == 0 {
+		cfg.MaxQueueWait = 5 * time.Minute
+	}
 	fsys := iox.OrOS(cfg.FS)
 	if err := fsys.MkdirAll(filepath.Join(cfg.DataDir, "jobs"), 0o755); err != nil {
 		return nil, err
@@ -190,18 +280,30 @@ func NewManager(cfg ManagerConfig) (*Manager, error) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	m := &Manager{
-		dataDir:    cfg.DataDir,
-		layoutRoot: cfg.LayoutRoot,
-		maxActive:  cfg.MaxActive,
-		now:        cfg.Now,
-		fsys:       fsys,
-		jobs:       map[string]*job{},
-		sched:      newScheduler(cfg.QueueCap),
-		journal:    journal,
-		ctx:        ctx,
-		cancel:     cancel,
+		dataDir:      cfg.DataDir,
+		layoutRoot:   cfg.LayoutRoot,
+		maxActive:    cfg.MaxActive,
+		now:          cfg.Now,
+		fsys:         fsys,
+		jobs:         map[string]*job{},
+		sched:        newScheduler(cfg.QueueCap),
+		journal:      journal,
+		ctx:          ctx,
+		cancel:       cancel,
+		gov:          newGovernor(cfg.Governor),
+		queueTTL:     cfg.QueueTTL,
+		wedgeTimeout: cfg.WedgeTimeout,
+		monitorEvery: cfg.MonitorEvery,
+		cache:        cfg.Cache,
+		runSpec:      RunSpec,
 	}
 	m.sched.now = cfg.Now
+	if cfg.MaxQueueWait > 0 {
+		m.sched.maxWait = cfg.MaxQueueWait
+	}
+	if m.cache != nil {
+		m.cacheEntries0, m.cacheBytes0 = m.cache.Limits()
+	}
 	if err := m.recover(payloads); err != nil {
 		journal.Close()
 		cancel()
@@ -214,6 +316,11 @@ func NewManager(cfg ManagerConfig) (*Manager, error) {
 // and requeues every non-terminal job in ID order.
 func (m *Manager) recover(payloads [][]byte) error {
 	merged := map[string]*jobRecord{}
+	// firstAt keeps each job's first-record timestamp: the admission
+	// anchor deadlines and queue TTLs are measured from. Requeue
+	// records never move it, so a crash-restart loop cannot extend a
+	// job's deadline.
+	firstAt := map[string]time.Time{}
 	var ids []string
 	for i, p := range payloads {
 		var rec jobRecord
@@ -227,6 +334,7 @@ func (m *Manager) recover(payloads [][]byte) error {
 			merged[rec.ID] = &rec
 		} else {
 			merged[rec.ID] = &rec
+			firstAt[rec.ID] = rec.Time
 			ids = append(ids, rec.ID)
 		}
 	}
@@ -285,11 +393,33 @@ func (m *Manager) recover(payloads [][]byte) error {
 			if err := m.sched.enqueue(id, rec.Spec.Tenant, rec.Spec.Priority); err != nil {
 				return fmt.Errorf("server: requeue %s: %w", id, err)
 			}
+			// Re-anchor deadlines at the first record's time and
+			// re-reserve the governor budget. The reservation bypasses
+			// admission (force): a job admitted by a previous daemon
+			// life must not vanish because the budget shrank.
+			m.anchorDeadlines(j, firstAt[id])
+			rects := 0
+			if l, err := rec.Spec.ResolveLayout(m.layoutRoot); err == nil {
+				rects = len(l.Rects)
+			}
+			j.cost = EstimateCost(rec.Spec, rects)
+			m.gov.force(id, j.cost)
 		}
 		m.jobs[id] = j
 		m.order = append(m.order, id)
 	}
 	return nil
+}
+
+// anchorDeadlines derives a job's absolute deadline and queue-TTL
+// expiry from its admission time.
+func (m *Manager) anchorDeadlines(j *job, admitted time.Time) {
+	if j.spec.DeadlineMS > 0 {
+		j.deadlineAt = admitted.Add(time.Duration(j.spec.DeadlineMS) * time.Millisecond)
+	}
+	if m.queueTTL > 0 {
+		j.ttlAt = admitted.Add(m.queueTTL)
+	}
 }
 
 // Start launches the executor pool. Jobs submitted before Start queue
@@ -304,6 +434,26 @@ func (m *Manager) Start() {
 	for i := 0; i < m.maxActive; i++ {
 		m.wg.Add(1)
 		go m.executor()
+	}
+	if m.monitorEvery > 0 {
+		m.wg.Add(1)
+		go m.monitor()
+	}
+}
+
+// monitor drives the governor pulse on a wall-clock ticker. Tests call
+// Pulse directly instead (MonitorEvery = 0 leaves this off).
+func (m *Manager) monitor() {
+	defer m.wg.Done()
+	t := time.NewTicker(m.monitorEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.ctx.Done():
+			return
+		case <-t.C:
+			m.Pulse()
+		}
 	}
 }
 
@@ -326,24 +476,36 @@ func (m *Manager) Stop() {
 
 // Submit validates nothing — the spec must already be normalized and
 // valid (ParseSpec's contract) — resolves the layout to fail fast on a
-// missing or malformed file, persists the job, and queues it.
+// missing or malformed file, prices the job, admits it against the
+// governor's budget, persists it, and queues it. Admission runs before
+// the queue-capacity check, so the admit/reject sequence for a given
+// submission history is deterministic: cost gate first, queue cap
+// second.
 func (m *Manager) Submit(spec *JobSpec) (JobStatus, error) {
-	if _, err := spec.ResolveLayout(m.layoutRoot); err != nil {
+	l, err := spec.ResolveLayout(m.layoutRoot)
+	if err != nil {
 		return JobStatus{}, fmt.Errorf("spec: layout: %w", err)
 	}
+	cost := EstimateCost(spec, len(l.Rects))
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	id := fmt.Sprintf("job-%04d", m.nextID)
+	if err := m.gov.admit(id, cost); err != nil {
+		return JobStatus{}, err
+	}
 	if err := m.sched.enqueue(id, spec.Tenant, spec.Priority); err != nil {
+		m.gov.release(id)
 		return JobStatus{}, err
 	}
 	if err := m.fsys.MkdirAll(m.jobDir(id), 0o755); err != nil {
 		m.sched.cancel(id)
+		m.gov.release(id)
 		return JobStatus{}, err
 	}
 	h, err := newHubFS(m.fsys, m.eventPath(id), id, spec)
 	if err != nil {
 		m.sched.cancel(id)
+		m.gov.release(id)
 		return JobStatus{}, err
 	}
 	// Storage before visibility: the queued event and the queued record
@@ -356,6 +518,7 @@ func (m *Manager) Submit(spec *JobSpec) (JobStatus, error) {
 	// record for a rejected job would resurrect it.
 	reject := func(err error) (JobStatus, error) {
 		m.sched.cancel(id)
+		m.gov.release(id)
 		h.close()
 		m.fsys.Remove(m.eventPath(id))
 		return JobStatus{}, err
@@ -363,11 +526,13 @@ func (m *Manager) Submit(spec *JobSpec) (JobStatus, error) {
 	if _, err := h.publish(JobEvent{Kind: "state", State: string(JobQueued)}); err != nil {
 		return reject(err)
 	}
-	if err := m.appendRecord(jobRecord{ID: id, State: JobQueued, Spec: spec, Time: m.now()}); err != nil {
+	admitted := m.now()
+	if err := m.appendRecord(jobRecord{ID: id, State: JobQueued, Spec: spec, Time: admitted}); err != nil {
 		return reject(fmt.Errorf("job journal: %w", err))
 	}
 	m.nextID++
-	j := &job{id: id, spec: spec, state: JobQueued, hub: h}
+	j := &job{id: id, spec: spec, state: JobQueued, hub: h, cost: cost}
+	m.anchorDeadlines(j, admitted)
 	m.jobs[id] = j
 	m.order = append(m.order, id)
 	return m.statusLocked(j), nil
@@ -393,7 +558,7 @@ func (m *Manager) Cancel(id string) (JobStatus, error) {
 		// finishes it instead.
 		m.finishLocked(j, JobCanceled, "", 0)
 	} else if j.stopRun != nil {
-		j.stopRun()
+		j.stopRun(context.Canceled)
 	}
 	return m.statusLocked(j), nil
 }
@@ -481,31 +646,51 @@ func (m *Manager) runJob(id string) {
 		m.mu.Unlock()
 		return
 	}
-	ctx, stop := context.WithCancel(m.ctx)
+	now := m.now()
+	if dl := j.dispatchDeadline(); !dl.IsZero() && !now.Before(dl) {
+		// The deadline or queue TTL expired while the job waited;
+		// dispatch merely raced the monitor sweep. Same terminal state
+		// either way.
+		m.finishLocked(j, JobDeadline, deadlineMsg(j, dl), 0)
+		m.mu.Unlock()
+		return
+	}
+	ctx, stop := context.WithCancelCause(m.ctx)
+	runCtx := ctx
+	if !j.deadlineAt.IsZero() {
+		var cancelDL context.CancelFunc
+		runCtx, cancelDL = context.WithDeadlineCause(ctx, j.deadlineAt, errDeadlineCause)
+		defer cancelDL()
+	}
 	j.state = JobRunning
 	j.stopRun = stop
+	j.lastEv.Store(now.UnixNano())
 	// A job whose state transitions cannot be journaled must not run:
 	// fail it cleanly before any work starts. finishLocked's own writes
 	// are best-effort against the same (likely poisoned) journals.
-	if err := m.appendRecord(jobRecord{ID: id, State: JobRunning, Time: m.now()}); err != nil {
+	if err := m.appendRecord(jobRecord{ID: id, State: JobRunning, Time: now}); err != nil {
 		j.stopRun = nil
-		stop()
+		stop(nil)
 		m.finishLocked(j, JobFailed, "job journal: "+err.Error(), 0)
 		m.mu.Unlock()
 		return
 	}
 	if _, err := j.hub.publish(JobEvent{Kind: "state", State: string(JobRunning)}); err != nil {
 		j.stopRun = nil
-		stop()
+		stop(nil)
 		m.finishLocked(j, JobFailed, err.Error(), 0)
 		m.mu.Unlock()
 		return
 	}
 	spec, h := j.spec, j.hub
 	m.mu.Unlock()
-	defer stop()
+	defer stop(nil)
 
-	res, err := m.execute(ctx, id, spec, h)
+	res, err := m.execute(runCtx, j, spec, h)
+
+	// cause is the first cancellation that hit the run — it, not the
+	// generic context error the flow returned, types the terminal state.
+	cause := context.Cause(runCtx)
 
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -515,6 +700,12 @@ func (m *Manager) runJob(id string) {
 		m.finishLocked(j, JobDone, "", len(res.Shots))
 	case j.canceled:
 		m.finishLocked(j, JobCanceled, "", 0)
+	case errors.Is(cause, errDeadlineCause):
+		m.finishLocked(j, JobDeadline, deadlineMsg(j, j.deadlineAt), 0)
+	case errors.Is(cause, errWedgeCause):
+		m.finishLocked(j, JobFailed, fmt.Sprintf("wedged: no events for %s", m.wedgeTimeout), 0)
+	case errors.Is(cause, errShedCause):
+		m.finishLocked(j, JobFailed, "shed: canceled under memory pressure (resubmit to resume from checkpoint)", 0)
 	case m.ctx.Err() != nil:
 		// Shutdown: leave the journal saying running so the job resumes.
 		j.state = JobQueued
@@ -523,12 +714,21 @@ func (m *Manager) runJob(id string) {
 	}
 }
 
+// deadlineMsg renders the typed deadline_exceeded error string.
+func deadlineMsg(j *job, dl time.Time) string {
+	if j.spec.DeadlineMS > 0 && (j.ttlAt.IsZero() || !j.deadlineAt.After(dl)) {
+		return fmt.Sprintf("deadline %dms exceeded (checkpoint preserved)", j.spec.DeadlineMS)
+	}
+	return "queue TTL exceeded (checkpoint preserved)"
+}
+
 // execute runs the spec with the daemon's plumbing: per-job paths and
 // a flow event bridge into the hub. A publish failure anywhere in the
 // bridge means the event journal is dead (poisoned — every later
 // publish would fail too), so the run is canceled immediately and the
 // journal error, not the resulting context cancellation, is returned.
-func (m *Manager) execute(ctx context.Context, id string, spec *JobSpec, h *hub) (*flow.Result, error) {
+func (m *Manager) execute(ctx context.Context, j *job, spec *JobSpec, h *hub) (*flow.Result, error) {
+	id := j.id
 	l, err := spec.ResolveLayout(m.layoutRoot)
 	if err != nil {
 		return nil, err
@@ -538,6 +738,7 @@ func (m *Manager) execute(ctx context.Context, id string, spec *JobSpec, h *hub)
 	var evMu sync.Mutex
 	var evErr error
 	pub := func(ev JobEvent) {
+		j.lastEv.Store(m.now().UnixNano()) // feeds the wedge watchdog
 		if _, err := h.publish(ev); err != nil {
 			evMu.Lock()
 			if evErr == nil {
@@ -550,6 +751,7 @@ func (m *Manager) execute(ctx context.Context, id string, spec *JobSpec, h *hub)
 	dir := m.jobDir(id)
 	opts := RunOpts{
 		FS:         m.fsys,
+		Cache:      m.cache,
 		Checkpoint: filepath.Join(dir, "flow.ckpt"),
 		MaskPath:   m.MaskPath(id),
 		ShotsPath:  m.ShotsPath(id),
@@ -569,7 +771,7 @@ func (m *Manager) execute(ctx context.Context, id string, spec *JobSpec, h *hub)
 			pub(JobEvent{Kind: "band", Row: row, Rows: rows})
 		},
 	}
-	res, err := RunSpec(ctx, l, spec, opts)
+	res, err := m.runSpec(ctx, l, spec, opts)
 	evMu.Lock()
 	ferr := evErr
 	evMu.Unlock()
@@ -593,6 +795,12 @@ func (m *Manager) finishLocked(j *job, state JobState, errMsg string, shots int)
 	j.state = state
 	j.errMsg = errMsg
 	j.shots = shots
+	m.gov.release(j.id)
+	if state == JobDeadline {
+		m.gov.mu.Lock()
+		m.gov.expired++
+		m.gov.mu.Unlock()
+	}
 	if err := m.appendRecord(jobRecord{ID: j.id, State: state, Error: errMsg, Shots: shots, Time: m.now()}); err == nil {
 		if _, err := j.hub.publish(JobEvent{Kind: "state", State: string(state), Error: errMsg, Shots: shots}); err != nil {
 			m.eventErrs.Add(1)
@@ -603,10 +811,158 @@ func (m *Manager) finishLocked(j *job, state JobState, errMsg string, shots int)
 
 // statusLocked snapshots a job. Callers hold m.mu.
 func (m *Manager) statusLocked(j *job) JobStatus {
-	return JobStatus{
+	st := JobStatus{
 		ID: j.id, State: j.state, Tenant: j.spec.Tenant, Priority: j.spec.Priority,
 		Grid: j.spec.GridN, Error: j.errMsg, Shots: j.shots, LastSeq: j.hub.lastSeq(),
+		CostBytes: j.cost.PeakBytes,
 	}
+	if dl := j.dispatchDeadline(); !dl.IsZero() {
+		st.DeadlineUnixMS = dl.UnixMilli()
+	}
+	return st
+}
+
+// Pulse runs one governor monitor cycle: sample the heap against the
+// watermarks (acting on any ladder transition), expire queued jobs
+// whose deadline or TTL passed, and kill wedged runs. The daemon's
+// monitor goroutine calls it on a ticker; tests call it directly.
+func (m *Manager) Pulse() {
+	heap := m.gov.readHeap()
+	from, to, changed := m.gov.observe(heap)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if changed {
+		m.ladderLocked(from, to, heap)
+	} else if to == GovShed {
+		// Pressure held through another pulse at the top rung: shed
+		// one more job per pulse until the heap recedes or no
+		// candidates remain.
+		m.shedLocked()
+	}
+	m.sweepDeadlinesLocked()
+	m.sweepWedgesLocked()
+}
+
+// ladderLocked applies one degradation-ladder transition's side
+// effects and announces it on every live job stream (kind "governor",
+// journaled like any other event, so replays reproduce it).
+func (m *Manager) ladderLocked(from, to GovLevel, heap int64) {
+	if m.cache != nil {
+		switch {
+		case from == GovNormal && to >= GovShrink:
+			// First rung: shrink the window cache's memory tier to a
+			// quarter so the allocator gets room before anything
+			// client-visible happens.
+			e, b := m.cacheEntries0/4, m.cacheBytes0/4
+			if e < 1 {
+				e = 1
+			}
+			if b < 1 {
+				b = 1
+			}
+			m.cache.Resize(e, b)
+		case to == GovNormal && from >= GovShrink:
+			m.cache.Resize(m.cacheEntries0, m.cacheBytes0)
+		}
+	}
+	if to == GovShed {
+		m.shedLocked()
+	}
+	ev := JobEvent{Kind: "governor", State: to.String(), From: from.String(), Heap: heap}
+	for _, j := range m.jobs {
+		if j.state.terminal() {
+			continue
+		}
+		if _, err := j.hub.publish(ev); err != nil {
+			m.eventErrs.Add(1)
+		}
+	}
+}
+
+// shedLocked cancels the youngest (highest-ID) running job whose
+// admitted cost exceeds its fair share of the budget. Jobs within
+// their share are never shed — pressure they did not cause is not
+// their fault — so a pulse may shed nothing.
+func (m *Manager) shedLocked() {
+	share := m.gov.budget / int64(m.maxActive)
+	var victim *job
+	for _, j := range m.jobs {
+		if j.state != JobRunning || j.stopRun == nil || j.cost.PeakBytes <= share {
+			continue
+		}
+		if victim == nil || j.id > victim.id {
+			victim = j
+		}
+	}
+	if victim == nil {
+		return
+	}
+	victim.stopRun(errShedCause)
+	m.gov.mu.Lock()
+	m.gov.sheds++
+	m.gov.mu.Unlock()
+}
+
+// sweepDeadlinesLocked expires queued jobs whose deadline or queue TTL
+// passed. Running jobs are handled by their run context's deadline.
+func (m *Manager) sweepDeadlinesLocked() {
+	now := m.now()
+	for _, j := range m.jobs {
+		if j.state != JobQueued {
+			continue
+		}
+		dl := j.dispatchDeadline()
+		if dl.IsZero() || now.Before(dl) {
+			continue
+		}
+		if m.sched.cancel(j.id) {
+			m.finishLocked(j, JobDeadline, deadlineMsg(j, dl), 0)
+		}
+		// Not in the queue = mid-dispatch; runJob's own deadline check
+		// finishes it.
+	}
+}
+
+// sweepWedgesLocked kills running jobs that have published nothing for
+// longer than the wedge timeout. The flow's per-tile stall detector
+// watches iterations inside one engine call; this watchdog watches the
+// job's entire event stream, so a run wedged outside any engine
+// (deadlocked worker pool, stuck I/O) still dies typed.
+func (m *Manager) sweepWedgesLocked() {
+	if m.wedgeTimeout <= 0 {
+		return
+	}
+	now := m.now().UnixNano()
+	for _, j := range m.jobs {
+		if j.state != JobRunning || j.wedged || j.stopRun == nil {
+			continue
+		}
+		last := j.lastEv.Load()
+		if last == 0 || now-last < int64(m.wedgeTimeout) {
+			continue
+		}
+		j.wedged = true
+		j.stopRun(errWedgeCause)
+		m.gov.mu.Lock()
+		m.gov.wedges++
+		m.gov.mu.Unlock()
+	}
+}
+
+// GovernorHealth reports the governor's /healthz section.
+func (m *Manager) GovernorHealth() GovernorHealth { return m.gov.health() }
+
+// QueueHealth reports the scheduler's /healthz section.
+func (m *Manager) QueueHealth() QueueHealth { return m.sched.health() }
+
+// EstimateFor prices a spec exactly as Submit would, resolving the
+// layout for its rect count. Exposed for calibration exhibits.
+func (m *Manager) EstimateFor(spec *JobSpec) (Cost, error) {
+	l, err := spec.ResolveLayout(m.layoutRoot)
+	if err != nil {
+		return Cost{}, err
+	}
+	return EstimateCost(spec, len(l.Rects)), nil
 }
 
 // appendRecord journals one job-state transition durably, returning

@@ -1,0 +1,7 @@
+//go:build race
+
+package server
+
+// raceEnabled lets timing-sensitive tests budget for the race
+// detector's slowdown (5-10x on compute-heavy paths).
+const raceEnabled = true

@@ -12,6 +12,7 @@ import (
 	"cfaopc/internal/iox"
 	"cfaopc/internal/layout"
 	"cfaopc/internal/optics"
+	"cfaopc/internal/wcache"
 )
 
 // RunOpts carries the per-invocation plumbing around a job spec: where
@@ -42,6 +43,10 @@ type RunOpts struct {
 	// the flow checkpoint, quarantine bundles, the streamed mask PGM,
 	// and the shot CSV. nil means the real filesystem.
 	FS iox.FS
+	// Cache is a shared window dedup cache for the run (nil = off).
+	// Caching changes wall time only, never bytes, so daemon/CLI
+	// artifact parity holds with or without it.
+	Cache *wcache.Cache
 }
 
 // RunSpec executes a normalized job spec through the tiled flow. It is
@@ -70,6 +75,7 @@ func RunSpec(ctx context.Context, l *layout.Layout, spec *JobSpec, o RunOpts) (*
 		RMaxPx:         152 / dx,
 		CheckpointPath: o.Checkpoint,
 		FS:             o.FS,
+		Cache:          o.Cache,
 		PartialEvery:   spec.PartialEvery,
 		KeepMask:       false, // the service product is shots + streamed bands
 		Events:         o.Events,

@@ -33,6 +33,13 @@ type schedJob struct {
 // flooding the queue with equal-priority jobs therefore interleaves
 // 1:1 with everyone else instead of starving them, while a genuinely
 // higher-priority job still preempts the rotation.
+//
+// Priority preemption alone can starve: a sustained priority-100 flood
+// would hold a priority-0 job queued forever. maxWait bounds that —
+// any job queued longer than maxWait joins the overdue class, which is
+// served FIFO (by admission order) ahead of every priority. The wait
+// bound is therefore hard: maxWait plus the service time of the
+// overdue jobs admitted before it.
 type scheduler struct {
 	mu       sync.Mutex
 	cap      int // max queued jobs across all tenants
@@ -43,6 +50,7 @@ type scheduler struct {
 	tick     int64            // service counter
 	now      func() time.Time // injectable for tests
 	wake     chan struct{}    // 1-buffered doorbell for blocked next()
+	maxWait  time.Duration    // anti-starvation bound (0 = disabled)
 }
 
 func newScheduler(capacity int) *scheduler {
@@ -118,27 +126,28 @@ func (s *scheduler) next(ctx context.Context) (*schedJob, error) {
 }
 
 // pop dequeues the selected job, or returns nil when the queue is
-// empty.
+// empty. Overdue jobs (queued past maxWait) preempt the priority rule
+// entirely and are served in admission order.
 func (s *scheduler) pop() *schedJob {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var bestTenant string
 	var best *schedJob
-	for tenant, q := range s.byTenant {
-		head := q[0]
-		if best == nil || better(head, tenant, best, bestTenant, s.served) {
-			best, bestTenant = head, tenant
+	if s.maxWait > 0 {
+		best, bestTenant = s.overdueLocked(s.now())
+	}
+	if best == nil {
+		for tenant, q := range s.byTenant {
+			head := q[0]
+			if best == nil || better(head, tenant, best, bestTenant, s.served) {
+				best, bestTenant = head, tenant
+			}
 		}
 	}
 	if best == nil {
 		return nil
 	}
-	q := s.byTenant[bestTenant]
-	if len(q) == 1 {
-		delete(s.byTenant, bestTenant)
-	} else {
-		s.byTenant[bestTenant] = q[1:]
-	}
+	s.removeLocked(bestTenant, best)
 	s.queued--
 	s.tick++
 	s.served[bestTenant] = s.tick
@@ -149,6 +158,43 @@ func (s *scheduler) pop() *schedJob {
 		s.ring()
 	}
 	return best
+}
+
+// overdueLocked scans every queued job (not just tenant heads — an
+// overdue low-priority job sits behind its own tenant's fresher
+// high-priority work) for the oldest admission that has waited past
+// maxWait.
+func (s *scheduler) overdueLocked(now time.Time) (*schedJob, string) {
+	var best *schedJob
+	var bestTenant string
+	for tenant, q := range s.byTenant {
+		for _, j := range q {
+			if now.Sub(j.queuedAt) < s.maxWait {
+				continue
+			}
+			if best == nil || j.seq < best.seq {
+				best, bestTenant = j, tenant
+			}
+		}
+	}
+	return best, bestTenant
+}
+
+// removeLocked deletes j from its tenant's queue (j may sit mid-queue
+// when the overdue rule selected it).
+func (s *scheduler) removeLocked(tenant string, j *schedJob) {
+	q := s.byTenant[tenant]
+	for i, cand := range q {
+		if cand == j {
+			q = append(q[:i:i], q[i+1:]...)
+			break
+		}
+	}
+	if len(q) == 0 {
+		delete(s.byTenant, tenant)
+	} else {
+		s.byTenant[tenant] = q
+	}
 }
 
 // better reports whether head-of-queue a (of tenant ta) should be
@@ -169,6 +215,41 @@ func (s *scheduler) depth() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.queued
+}
+
+// QueueHealth is the scheduler's /healthz section: backlog size and
+// shape, and how stale its oldest admission is.
+type QueueHealth struct {
+	Depth       int            `json:"depth"`
+	Cap         int            `json:"cap"`
+	Tenants     map[string]int `json:"tenants,omitempty"`       // queued jobs per tenant
+	OldestAgeMS int64          `json:"oldest_age_ms,omitempty"` // wait of the oldest queued job
+}
+
+// health snapshots the queue for /healthz.
+func (s *scheduler) health() QueueHealth {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	qh := QueueHealth{Depth: s.queued, Cap: s.cap}
+	if s.queued == 0 {
+		return qh
+	}
+	qh.Tenants = make(map[string]int, len(s.byTenant))
+	var oldest *schedJob
+	for tenant, q := range s.byTenant {
+		qh.Tenants[tenant] = len(q)
+		for _, j := range q {
+			if oldest == nil || j.seq < oldest.seq {
+				oldest = j
+			}
+		}
+	}
+	if oldest != nil {
+		if age := s.now().Sub(oldest.queuedAt); age > 0 {
+			qh.OldestAgeMS = age.Milliseconds()
+		}
+	}
+	return qh
 }
 
 // ring wakes one blocked next() without ever blocking the caller.

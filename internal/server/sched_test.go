@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"errors"
+	"fmt"
 	"testing"
 	"time"
 )
@@ -142,6 +143,77 @@ func TestSchedulerOrdering(t *testing.T) {
 			}
 			if s.depth() != 0 {
 				t.Fatalf("depth %d after draining", s.depth())
+			}
+		})
+	}
+}
+
+// TestSchedulerStarvationBound pins the anti-starvation contract: a
+// sustained priority-100 flood must not hold a priority-0 job past
+// maxWait. The fake clock advances one second per reading, and each
+// loop iteration reads it twice (one enqueue, one pop), so the victim
+// — queued at t=1s — becomes overdue at pop i where 2i >= maxWait.
+// Everything is deterministic, so the full pop order is asserted.
+func TestSchedulerStarvationBound(t *testing.T) {
+	cases := []struct {
+		name    string
+		maxWait time.Duration
+		tenant  string // flood tenant ("victim" = same tenant as the victim)
+		rounds  int    // flood enqueue+pop rounds
+		want    []string
+	}{
+		{
+			// Overdue at pop 5 (age 10s): four flood jobs go first on
+			// priority, then the bound preempts.
+			name: "cross-tenant flood", maxWait: 10 * time.Second,
+			tenant: "flood", rounds: 5,
+			want: []string{"f1", "f2", "f3", "f4", "victim"},
+		},
+		{
+			// A tighter bound preempts sooner.
+			name: "tight bound", maxWait: 6 * time.Second,
+			tenant: "flood", rounds: 3,
+			want: []string{"f1", "f2", "victim"},
+		},
+		{
+			// The victim sits behind its own tenant's priority-100 heads;
+			// the overdue scan must look past tenant queue heads.
+			name: "same-tenant flood", maxWait: 10 * time.Second,
+			tenant: "victim", rounds: 5,
+			want: []string{"f1", "f2", "f3", "f4", "victim"},
+		},
+		{
+			// Bound disabled: the documented starvation — the victim only
+			// pops once the flood is drained.
+			name: "disabled bound starves", maxWait: 0,
+			tenant: "flood", rounds: 5,
+			want: []string{"f1", "f2", "f3", "f4", "f5"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := newScheduler(64)
+			s.now = newFakeClock().now
+			s.maxWait = tc.maxWait
+			if err := s.enqueue("victim", "victim", 0); err != nil {
+				t.Fatal(err)
+			}
+			var got []string
+			for i := 1; i <= tc.rounds; i++ {
+				if err := s.enqueue(fmt.Sprintf("f%d", i), tc.tenant, 100); err != nil {
+					t.Fatal(err)
+				}
+				j := s.pop()
+				if j == nil {
+					t.Fatal("pop returned nil with jobs queued")
+				}
+				got = append(got, j.id)
+				if j.id == "victim" {
+					break
+				}
+			}
+			if fmt.Sprint(got) != fmt.Sprint(tc.want) {
+				t.Fatalf("pop order %v, want %v", got, tc.want)
 			}
 		})
 	}

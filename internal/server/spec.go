@@ -43,6 +43,15 @@ type JobSpec struct {
 	TileCore int `json:"tile_core,omitempty"` // owned px per window (default 128)
 	TileHalo int `json:"tile_halo,omitempty"` // context px per side (default 32)
 
+	// DeadlineMS bounds the job's total service time in milliseconds,
+	// measured from first admission (the anchor survives restarts: it
+	// is the first journaled record's timestamp). 0 means no per-job
+	// deadline; the daemon's queue TTL still applies. Expired jobs —
+	// queued or running — end in the terminal deadline_exceeded state
+	// with checkpoint state preserved for manual resume. The cfaopc
+	// -job CLI ignores it: deadlines are a service contract.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+
 	Iters        int     `json:"iters,omitempty"`         // optimizer iterations (default 60)
 	Gamma        float64 `json:"gamma,omitempty"`         // CircleOpt sparsity weight (default 3)
 	SampleNM     float64 `json:"sample_nm,omitempty"`     // circle sample distance (default 32)
@@ -189,6 +198,9 @@ func (s *JobSpec) Validate() error {
 	}
 	if s.PartialEvery < 0 || s.PartialEvery > 100000 {
 		return fmt.Errorf("spec: partial_every %d outside 0..100000", s.PartialEvery)
+	}
+	if s.DeadlineMS < 0 || s.DeadlineMS > 86_400_000 {
+		return fmt.Errorf("spec: deadline_ms %d outside 0..86400000", s.DeadlineMS)
 	}
 	return nil
 }

@@ -59,6 +59,8 @@ func TestParseSpecRejects(t *testing.T) {
 		{"kopt out of range", `{"case":1,"kopt":99}`, "kopt"},
 		{"tile_workers out of range", `{"case":1,"tile_workers":1000}`, "tile_workers"},
 		{"partial_every negative", `{"case":1,"partial_every":-1}`, "partial_every"},
+		{"deadline negative", `{"case":1,"deadline_ms":-1}`, "deadline_ms"},
+		{"deadline past a day", `{"case":1,"deadline_ms":86400001}`, "deadline_ms"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -90,6 +92,28 @@ func TestValidateNonFiniteKnobs(t *testing.T) {
 	}
 }
 
+func TestSpecDeadlineBoundsAndRoundTrip(t *testing.T) {
+	spec, err := parseSpecString(t, `{"case":1,"deadline_ms":1500}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.DeadlineMS != 1500 {
+		t.Fatalf("deadline_ms = %d, want 1500", spec.DeadlineMS)
+	}
+	again, err := ParseSpec(bytes.NewReader(spec.Canonical()))
+	if err != nil {
+		t.Fatalf("canonical form rejected: %v", err)
+	}
+	if again.DeadlineMS != 1500 || !spec.Equal(again) {
+		t.Fatalf("deadline_ms lost in canonical round-trip:\n%s", again.Canonical())
+	}
+	// Zero means "no deadline" and stays out of the canonical bytes.
+	spec2, _ := parseSpecString(t, `{"case":1}`)
+	if spec2.DeadlineMS != 0 || strings.Contains(string(spec2.Canonical()), "deadline_ms") {
+		t.Fatalf("zero deadline should be omitted: %s", spec2.Canonical())
+	}
+}
+
 func TestSpecCanonicalRoundTrip(t *testing.T) {
 	a, err := parseSpecString(t, `{"case":3,"priority":7,"tenant":"alice","iters":2}`)
 	if err != nil {
@@ -115,6 +139,8 @@ func FuzzJobSpec(f *testing.F) {
 		`{"layout":"a/b.glp","tenant":"alice","priority":-3}`,
 		`{"layout":"x.gds","method":"develset","fallback":"none"}`,
 		`{"case":1,"gamma":0.5,"sample_nm":16,"iters":1}`,
+		`{"case":1,"deadline_ms":30000,"priority":5}`,
+		`{"case":1,"deadline_ms":-7}`,
 		`{"layout":"../evil.glp"}`,
 		`{"layout":"/abs/evil.glp"}`,
 		`{"case":1,"grid":1e9}`,
@@ -142,6 +168,9 @@ func FuzzJobSpec(f *testing.F) {
 			if math.IsNaN(v) || math.IsInf(v, 0) || v <= 0 {
 				t.Fatalf("accepted non-finite/non-positive %s %v", name, v)
 			}
+		}
+		if spec.DeadlineMS < 0 || spec.DeadlineMS > 86_400_000 {
+			t.Fatalf("accepted deadline_ms %d", spec.DeadlineMS)
 		}
 		window := spec.TileCore + 2*spec.TileHalo
 		if window < minWindow || window > spec.GridN || spec.GridN > maxGrid {

@@ -288,6 +288,14 @@ func (c *Cache) insert(k Key, e *Entry) {
 		c.items[k] = c.ll.PushFront(&lruItem{key: k, entry: e, size: size})
 		c.bytes += size
 	}
+	c.evictLocked()
+	c.stats.Entries = c.ll.Len()
+	c.stats.Bytes = c.bytes
+}
+
+// evictLocked trims the memory tier to the configured budgets, always
+// keeping at least one entry so a single oversized window still caches.
+func (c *Cache) evictLocked() {
 	for (c.ll.Len() > c.cfg.MaxEntries || c.bytes > c.cfg.MaxBytes) && c.ll.Len() > 1 {
 		back := c.ll.Back()
 		it := back.Value.(*lruItem)
@@ -296,8 +304,32 @@ func (c *Cache) insert(k Key, e *Entry) {
 		c.bytes -= it.size
 		c.stats.Evictions++
 	}
+}
+
+// Resize changes the memory-tier budgets at runtime and evicts down to
+// them immediately. A non-positive argument leaves that budget
+// unchanged. This is the pressure-shedding hook: a resource governor
+// can shrink the tier when the heap crosses a watermark and restore it
+// once pressure recedes. The disk tier is unaffected.
+func (c *Cache) Resize(maxEntries int, maxBytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if maxEntries > 0 {
+		c.cfg.MaxEntries = maxEntries
+	}
+	if maxBytes > 0 {
+		c.cfg.MaxBytes = maxBytes
+	}
+	c.evictLocked()
 	c.stats.Entries = c.ll.Len()
 	c.stats.Bytes = c.bytes
+}
+
+// Limits reports the current memory-tier budgets.
+func (c *Cache) Limits() (maxEntries int, maxBytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cfg.MaxEntries, c.cfg.MaxBytes
 }
 
 func (c *Cache) count(f func(*Stats)) {

@@ -273,3 +273,55 @@ func TestMemoryOnlyMissDoesNotTouchDisk(t *testing.T) {
 		t.Fatalf("stats %+v", s)
 	}
 }
+
+// TestResizeShrinksAndRestores pins the governor's shrink rung: Resize
+// evicts immediately down to the new limits, Limits reports them, and
+// restoring the original limits lets the cache grow again.
+func TestResizeShrinksAndRestores(t *testing.T) {
+	c, err := New(Config{MaxEntries: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"a", "b", "c", "d", "e", "f"} {
+		c.Put(key(k), testEntry(1))
+	}
+	if s := c.Stats(); s.Entries != 6 {
+		t.Fatalf("entries %d, want 6", s.Entries)
+	}
+
+	_, bytes0 := c.Limits() // byte limit as defaulted by New
+	c.Resize(2, 0)          // shrink entry limit; byte limit unchanged
+	if me, mb := c.Limits(); me != 2 || mb != bytes0 {
+		t.Fatalf("Limits() = %d, %d after Resize(2, 0), want 2, %d", me, mb, bytes0)
+	}
+	if s := c.Stats(); s.Entries != 2 || s.Evictions != 4 {
+		t.Fatalf("after shrink: %+v", s)
+	}
+	// LRU order holds: the two most recent keys survive.
+	if _, ok := c.Get(key("f")); !ok {
+		t.Fatal("newest key evicted by shrink")
+	}
+	if _, ok := c.Get(key("a")); ok {
+		t.Fatal("oldest key survived shrink")
+	}
+
+	c.Resize(8, 0) // restore
+	for _, k := range []string{"g", "h", "i"} {
+		c.Put(key(k), testEntry(1))
+	}
+	if s := c.Stats(); s.Entries != 5 {
+		t.Fatalf("after restore: %+v", s)
+	}
+
+	// Byte-limit shrink evicts by bytes too, never below one entry.
+	one := testEntry(1).bytes()
+	c.Resize(0, one)
+	if s := c.Stats(); s.Entries != 1 || s.Bytes > one {
+		t.Fatalf("after byte shrink: %+v", s)
+	}
+	// Non-positive arguments leave both limits alone.
+	c.Resize(0, 0)
+	if me, mb := c.Limits(); me != 8 || mb != one {
+		t.Fatalf("Limits() = %d, %d after no-op Resize", me, mb)
+	}
+}
